@@ -1,0 +1,87 @@
+// Command ablation replays a benchmark's recorded trajectory under the
+// design variations catalogued in DESIGN.md: the Nn,min threshold, the
+// semivariogram family, the interpolator (kriging vs the IDW and
+// nearest-neighbour baselines), the interpolation domain and the replay
+// support mode.
+//
+// Usage:
+//
+//	ablation [-bench name] [-d n] [-size small|full] [-seed n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/evaluator"
+	"repro/internal/variogram"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ablation: ")
+	var (
+		benchName = flag.String("bench", "fir", "benchmark: fir, iir, fft, hevc or squeezenet")
+		d         = flag.Float64("d", 3, "neighbourhood radius")
+		sizeName  = flag.String("size", "small", "benchmark size")
+		seed      = flag.Uint64("seed", 1, "experiment seed")
+	)
+	flag.Parse()
+	size := bench.Small
+	if *sizeName == "full" {
+		size = bench.Full
+	}
+	sp, err := bench.SpecByName(*benchName, size)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace, err := sp.Record(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d recorded configurations, d=%v\n\n", sp.Name, len(trace), *d)
+
+	var rows []bench.AblationRow
+
+	nn, err := bench.AblateNnMin(sp, trace, *d, []int{1, 2, 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows = append(rows, nn...)
+
+	vg, err := bench.AblateVariogram(sp, trace, *d, []variogram.Kind{
+		variogram.Power, variogram.Linear, variogram.Spherical,
+		variogram.Exponential, variogram.Gaussian,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows = append(rows, vg...)
+
+	ip, err := bench.AblateInterpolator(sp, trace, *d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows = append(rows, ip...)
+
+	// Domain and replay-mode variations via the Table 1 options.
+	for _, variant := range []struct {
+		name string
+		opts bench.Table1Options
+	}{
+		{"domain=transformed", bench.Table1Options{Distances: []float64{*d}}},
+		{"domain=linear", bench.Table1Options{Distances: []float64{*d}, LinearDomain: true}},
+		{"mode=finalsim", bench.Table1Options{Distances: []float64{*d}, Mode: evaluator.ModeFinalSim}},
+		{"mode=live", bench.Table1Options{Distances: []float64{*d}, Mode: evaluator.ModeLive}},
+	} {
+		res, err := bench.ReplayTrace(sp, trace, variant.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, bench.AblationRow{Benchmark: sp.Name, Variant: variant.name, Row: res.Rows[0]})
+	}
+
+	fmt.Print(bench.RenderAblation(rows))
+}

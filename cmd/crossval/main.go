@@ -1,0 +1,74 @@
+// Command crossval identifies the semivariogram of a benchmark from a
+// Latin-hypercube pilot sample and cross-validates every parametric
+// family, helping a user pick the model for core.Options.Kind before an
+// optimisation campaign.
+//
+// Usage:
+//
+//	crossval [-bench name] [-pilot n] [-size small|full] [-seed n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/evaluator"
+	"repro/internal/variogram"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("crossval: ")
+	var (
+		benchName = flag.String("bench", "fir", "benchmark: fir, iir, fft, hevc or squeezenet")
+		pilot     = flag.Int("pilot", 32, "pilot sample size")
+		sizeName  = flag.String("size", "small", "benchmark size")
+		seed      = flag.Uint64("seed", 1, "experiment seed")
+	)
+	flag.Parse()
+	size := bench.Small
+	if *sizeName == "full" {
+		size = bench.Full
+	}
+	sp, err := bench.SpecByName(*benchName, size)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := sp.NewSimulator(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s: %d-point Latin-hypercube pilot, LOOCV per variogram family\n", sp.Name, *pilot)
+	fmt.Printf("%-13s %-40s %10s %10s %10s\n", "family", "fitted model", "meanAbs", "rms", "bias")
+	for _, kind := range []variogram.Kind{
+		variogram.Power, variogram.Linear, variogram.Spherical,
+		variogram.Exponential, variogram.Gaussian,
+	} {
+		opts := core.Options{D: 3, Kind: kind}
+		if sp.ErrKind == evaluator.ErrorBits {
+			opts.Transform = evaluator.NegPowerToDB
+			opts.Untransform = evaluator.DBToNegPower
+		} else {
+			opts.Transform = evaluator.Identity
+			opts.Untransform = evaluator.ClampProb
+		}
+		p, err := core.New(sim, sp.Bounds, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := p.RunPilot(*pilot, *seed); err != nil {
+			log.Fatal(err)
+		}
+		id, err := p.Identify()
+		if err != nil {
+			log.Fatal(err)
+		}
+		desc := fmt.Sprintf("%s%v", id.Model.Name(), id.Model.Params())
+		fmt.Printf("%-13s %-40s %10.4g %10.4g %10.4g\n",
+			kind, desc, id.CV.MeanAbs, id.CV.RMS, id.CV.MeanBias)
+	}
+}

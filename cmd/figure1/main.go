@@ -1,0 +1,39 @@
+// Command figure1 regenerates Figure 1 of the paper: the output noise
+// power (in dB) of the 64-tap FIR filter as a function of the word-length
+// at the output of the multiplier and at the output of the adder. The
+// surface is printed as CSV for plotting.
+//
+// Usage:
+//
+//	figure1 [-seed n] [-samples n] [-min wl] [-max wl]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figure1: ")
+	var (
+		seed    = flag.Uint64("seed", 1, "experiment seed")
+		samples = flag.Int("samples", 1024, "input samples per configuration")
+		minWL   = flag.Int("min", 2, "lowest word-length")
+		maxWL   = flag.Int("max", 16, "highest word-length")
+	)
+	flag.Parse()
+	s, err := bench.RunFigure1(bench.Figure1Options{
+		Seed:    *seed,
+		Samples: *samples,
+		MinWL:   *minWL,
+		MaxWL:   *maxWL,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(s.RenderCSV())
+}

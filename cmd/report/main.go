@@ -1,0 +1,45 @@
+// Command report regenerates the complete evaluation in one shot — the
+// Table I blocks, the Eq. 2 speed-up model and the ablation studies — as
+// a Markdown document on stdout.
+//
+// Usage:
+//
+//	report [-size small|full] [-seed n] [-bench a,b,c] [-ablate name]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("report: ")
+	var (
+		sizeName = flag.String("size", "small", "benchmark size: small or full")
+		seed     = flag.Uint64("seed", 1, "experiment seed")
+		benches  = flag.String("bench", "", "comma-separated benchmark subset; empty runs all five")
+		ablateOn = flag.String("ablate", "fir", "benchmark the ablation studies replay")
+	)
+	flag.Parse()
+	size := bench.Small
+	if *sizeName == "full" {
+		size = bench.Full
+	}
+	var names []string
+	if *benches != "" {
+		names = strings.Split(*benches, ",")
+	}
+	if err := bench.WriteReport(os.Stdout, bench.ReportOptions{
+		Seed:       *seed,
+		Size:       size,
+		Benchmarks: names,
+		AblateOn:   *ablateOn,
+	}); err != nil {
+		log.Fatal(err)
+	}
+}

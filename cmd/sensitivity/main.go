@@ -1,0 +1,82 @@
+// Command sensitivity runs the error-sensitivity analysis of the paper's
+// SqueezeNet benchmark: a steepest-descent budgeting of per-layer error
+// powers subject to a classification-agreement constraint, optionally
+// accelerated by the kriging evaluator.
+//
+// Usage:
+//
+//	sensitivity [-images n] [-pcl p] [-d n] [-seed n] [-nokriging]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/evaluator"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/space"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sensitivity: ")
+	var (
+		images    = flag.Int("images", 200, "input data set size (the paper uses 1000)")
+		pcl       = flag.Float64("pcl", 0.9, "minimum classification-agreement probability")
+		d         = flag.Float64("d", 3, "kriging neighbourhood radius (L1)")
+		seed      = flag.Uint64("seed", 1, "experiment seed")
+		noKriging = flag.Bool("nokriging", false, "disable interpolation (simulation only)")
+		model     = flag.String("model", "gaussian", "error model: gaussian, uniform or timing")
+	)
+	flag.Parse()
+	kind, err := nn.ParseInjectorKind(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := nn.NewSensitivityBenchmark(*seed, *images)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b.Kind = kind
+	opts := evaluator.Options{
+		D: *d, NnMin: 1, MaxSupport: 10,
+		Transform:   evaluator.Identity,
+		Untransform: evaluator.ClampProb,
+	}
+	if *noKriging {
+		opts = evaluator.Options{}
+	}
+	ev, err := evaluator.New(b, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oracle := optim.OracleFunc(func(cfg space.Config) (float64, error) {
+		res, err := ev.Evaluate(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return res.Lambda, nil
+	})
+	res, err := optim.NoiseBudget(oracle, optim.NoiseBudgetOptions{
+		LambdaMin: *pcl,
+		Bounds:    b.Bounds(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := ev.Stats()
+	fmt.Printf("images         : %d\n", *images)
+	fmt.Printf("error model    : %s\n", kind)
+	fmt.Printf("constraint     : p_cl >= %.3f\n", *pcl)
+	fmt.Printf("final p_cl     : %.3f\n", res.Lambda)
+	fmt.Printf("evaluations    : %d (%d simulated, %d kriged, p=%.2f%%)\n",
+		res.Evaluations, st.NSim, st.NInterp, st.PercentInterpolated())
+	fmt.Println("per-layer tolerated error power:")
+	for i, name := range nn.LayerNames {
+		fmt.Printf("  %-7s index %2d  power %8.3g (%.1f dB)\n",
+			name, res.E[i], b.Power(res.E[i]), metrics.DB(b.Power(res.E[i])))
+	}
+}

@@ -1,0 +1,139 @@
+// Command table1 regenerates Table I of the paper: for each benchmark it
+// records the simulation-only optimisation trajectory, replays it through
+// the kriging decision rule at d = 2..5, and prints p(%), j̄ and the
+// interpolation errors. With -speedup it additionally prints the Eq. 2
+// total-time model.
+//
+// Usage:
+//
+//	table1 [-bench name] [-size small|full] [-seed n] [-nnmin n] [-speedup]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+	"repro/internal/evaluator"
+)
+
+// obtainTrace loads the benchmark's trajectory from traceDir when a file
+// exists there, and records (and saves) it otherwise. An empty traceDir
+// always records without persisting.
+func obtainTrace(sp *bench.Spec, seed uint64, traceDir string) (evaluator.Trace, bool, error) {
+	if traceDir == "" {
+		trace, err := sp.Record(seed)
+		return trace, false, err
+	}
+	path := filepath.Join(traceDir, sp.Name+".json")
+	if f, err := os.Open(path); err == nil {
+		defer f.Close()
+		trace, err := evaluator.LoadTrace(f)
+		if err != nil {
+			return nil, false, fmt.Errorf("loading %s: %w", path, err)
+		}
+		return trace, true, nil
+	}
+	trace, err := sp.Record(seed)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := os.MkdirAll(traceDir, 0o755); err != nil {
+		return nil, false, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	if err := evaluator.SaveTrace(f, trace); err != nil {
+		return nil, false, err
+	}
+	return trace, false, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("table1: ")
+	var (
+		benchName = flag.String("bench", "", "run a single benchmark (fir|iir|fft|hevc|hevc-ssim|squeezenet); empty runs all")
+		sizeName  = flag.String("size", "small", "benchmark size: small (fast) or full (paper-scale)")
+		seed      = flag.Uint64("seed", 1, "experiment seed")
+		nnMin     = flag.Int("nnmin", 1, "minimum-neighbour threshold Nn,min")
+		speedup   = flag.Bool("speedup", false, "also print the Eq. 2 speed-up model at d=3")
+		scaling   = flag.Bool("scaling", false, "also print the p%% vs Nv scaling study at d=3")
+		traceDir  = flag.String("tracedir", "", "directory of recorded trajectories: reuse <name>.json when present, record and save otherwise")
+	)
+	flag.Parse()
+
+	size := bench.Small
+	switch *sizeName {
+	case "small":
+	case "full":
+		size = bench.Full
+	default:
+		log.Fatalf("unknown size %q (want small or full)", *sizeName)
+	}
+
+	var specs []*bench.Spec
+	if *benchName == "" {
+		all, err := bench.AllSpecs(size)
+		if err != nil {
+			log.Fatal(err)
+		}
+		specs = all
+	} else {
+		sp, err := bench.SpecByName(*benchName, size)
+		if err != nil {
+			log.Fatal(err)
+		}
+		specs = []*bench.Spec{sp}
+	}
+
+	opts := bench.Table1Options{Seed: *seed, NnMin: *nnMin}
+	var results []*bench.BenchmarkResult
+	for _, sp := range specs {
+		trace, fromDisk, err := obtainTrace(sp, *seed, *traceDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if fromDisk {
+			fmt.Fprintf(os.Stderr, "%s: %d configurations loaded from %s\n",
+				sp.Name, len(trace), *traceDir)
+		} else {
+			fmt.Fprintf(os.Stderr, "%s: %d configurations recorded (Nv=%d)\n",
+				sp.Name, len(trace), sp.Nv)
+		}
+		res, err := bench.ReplayTrace(sp, trace, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	fmt.Print(bench.RenderTable1(results))
+
+	if *speedup {
+		var rows []bench.SpeedupRow
+		for i, res := range results {
+			row, err := bench.MeasureSpeedup(specs[i], res, 3, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rows = append(rows, row)
+		}
+		fmt.Println()
+		fmt.Print(bench.RenderSpeedup(rows))
+	}
+
+	if *scaling {
+		rows, err := bench.ScalingStudy(nil, size, *seed, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(bench.RenderScaling(rows, 3))
+	}
+}

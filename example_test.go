@@ -1,0 +1,69 @@
+package repro_test
+
+import (
+	"fmt"
+	"math"
+
+	"repro"
+	"repro/internal/evaluator"
+	"repro/internal/optim"
+	"repro/internal/space"
+)
+
+// Example shows the minimal kriging-evaluator flow: wrap a simulator,
+// walk a path through the hypercube, and watch the evaluator switch from
+// simulation to interpolation once the store is warm.
+func Example() {
+	sim := repro.SimulatorFunc{NumVars: 1, Fn: func(cfg repro.Config) (float64, error) {
+		return -math.Exp2(-float64(cfg[0])), nil
+	}}
+	ev, _ := repro.NewEvaluator(sim, repro.EvaluatorOptions{D: 2, NnMin: 1})
+	for w := 4; w <= 8; w++ {
+		res, _ := ev.Evaluate(space.Config{w})
+		fmt.Printf("w=%d %s\n", w, res.Source)
+	}
+	// Output:
+	// w=4 simulated
+	// w=5 simulated
+	// w=6 interpolated
+	// w=7 simulated
+	// w=8 simulated
+}
+
+// ExampleMinPlusOne runs the paper's word-length optimiser on an
+// analytic accuracy model.
+func ExampleMinPlusOne() {
+	oracle := optim.OracleFunc(func(cfg space.Config) (float64, error) {
+		var p float64
+		for _, w := range cfg {
+			p += math.Exp2(-2 * float64(w))
+		}
+		return -p, nil
+	})
+	res, _ := repro.MinPlusOne(oracle, optim.MinPlusOneOptions{
+		LambdaMin: -1e-4,
+		Bounds:    space.UniformBounds(2, 2, 16),
+	})
+	fmt.Println("wres:", res.WRes)
+	// Output:
+	// wres: (8,7)
+}
+
+// ExampleReplay demonstrates the Table I replay protocol on a recorded
+// trajectory.
+func ExampleReplay() {
+	var trace repro.Trace
+	for k := 9; k >= 0; k-- {
+		trace = append(trace, evaluator.TracePoint{
+			Config: space.Config{k},
+			Lambda: float64(2 * k),
+		})
+	}
+	row, _ := repro.Replay(trace, repro.EvaluatorOptions{
+		D: 2, NnMin: 1,
+		Interp: &repro.OrdinaryKriging{},
+	}, evaluator.ErrorRelative)
+	fmt.Printf("N=%d interpolated=%d\n", row.N, row.NInterp)
+	// Output:
+	// N=10 interpolated=3
+}

@@ -1,0 +1,75 @@
+// fir_wordlength: the paper's motivating use case on its first benchmark.
+//
+// The example optimises the two word-lengths of the 64-tap fixed-point
+// FIR filter under a -40 dB output-noise constraint twice — once with
+// plain simulation and once with the kriging-accelerated evaluator — and
+// compares the resulting word-length vectors and the number of real
+// simulations each run needed. The kriging run trades a small number of
+// interpolation errors for roughly half the simulations, the paper's
+// headline result for small benchmarks.
+//
+// Run with:
+//
+//	go run ./examples/fir_wordlength
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/evaluator"
+	"repro/internal/optim"
+	"repro/internal/signal"
+	"repro/internal/space"
+)
+
+func main() {
+	log.SetFlags(0)
+	const lambdaMin = -1e-4 // -40 dB output noise power
+
+	run := func(withKriging bool) (optim.MinPlusOneResult, evaluator.Stats) {
+		b, err := signal.NewFIRBenchmark(1, 1024)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := repro.EvaluatorOptions{}
+		if withKriging {
+			opts = repro.EvaluatorOptions{
+				D: 3, NnMin: 1, MaxSupport: 10,
+				// Noise powers span decades: krige the dB domain.
+				Transform:   evaluator.NegPowerToDB,
+				Untransform: evaluator.DBToNegPower,
+			}
+		}
+		ev, err := repro.NewEvaluator(&signal.Simulator{B: b}, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := repro.MinPlusOne(repro.OracleFromEvaluator(ev), optim.MinPlusOneOptions{
+			LambdaMin: lambdaMin,
+			Bounds:    space.UniformBounds(2, 2, 16),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res, ev.Stats()
+	}
+
+	simRes, simStats := run(false)
+	krigRes, krigStats := run(true)
+
+	fmt.Println("64-tap FIR word-length optimisation, constraint -40 dB")
+	fmt.Println()
+	fmt.Printf("%-22s %-14s %-14s %6s %6s\n", "mode", "wres", "lambda", "Nsim", "Nkrig")
+	fmt.Printf("%-22s %-14v %-14.3g %6d %6d\n",
+		"simulation only", simRes.WRes, simRes.Lambda, simStats.NSim, simStats.NInterp)
+	fmt.Printf("%-22s %-14v %-14.3g %6d %6d\n",
+		"kriging (d=3)", krigRes.WRes, krigRes.Lambda, krigStats.NSim, krigStats.NInterp)
+	fmt.Println()
+	saved := simStats.NSim - krigStats.NSim
+	fmt.Printf("simulations saved by kriging: %d of %d (%.0f%%)\n",
+		saved, simStats.NSim, 100*float64(saved)/float64(simStats.NSim))
+	fmt.Printf("word-length cost: %d bits (simulation) vs %d bits (kriging)\n",
+		int(optim.TotalBits(simRes.WRes)), int(optim.TotalBits(krigRes.WRes)))
+}

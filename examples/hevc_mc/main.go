@@ -1,0 +1,111 @@
+// hevc_mc: the HEVC motion-compensation substrate on its own.
+//
+// The example drives the luma (8-tap, 23 knobs) and chroma (4-tap, 12
+// knobs) fractional-pel interpolators directly: it sweeps a shared
+// word-length across each datapath and prints the output noise power per
+// fractional position, the raw material behind the paper's HEVC rows.
+//
+// Run with:
+//
+//	go run ./examples/hevc_mc
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/dataset"
+	"repro/internal/hevc"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/space"
+)
+
+func main() {
+	log.SetFlags(0)
+	r := rng.New(1)
+
+	// --- Luma: one block, all nine non-integer quarter-pel positions.
+	luma := hevc.NewInterp()
+	src := dataset.Block(r, 15, 15, 0.999) // 8 + 8 - 1 window
+	fmt.Println("luma 8-tap interpolation, uniform word-length sweep")
+	fmt.Printf("%8s", "w\\frac")
+	for fx := 1; fx <= 3; fx++ {
+		for fy := 1; fy <= 3; fy++ {
+			fmt.Printf("  (%d/4,%d/4)", fx, fy)
+		}
+	}
+	fmt.Println()
+	for _, w := range []int{4, 6, 8, 10, 12} {
+		cfg := make(space.Config, luma.Nv())
+		for i := range cfg {
+			cfg[i] = w
+		}
+		fmt.Printf("%8d", w)
+		for fx := 1; fx <= 3; fx++ {
+			for fy := 1; fy <= 3; fy++ {
+				mv := hevc.MotionVector{FracX: fx, FracY: fy}
+				ref, err := luma.Reference(src, mv)
+				if err != nil {
+					log.Fatal(err)
+				}
+				out, err := luma.Fixed(cfg, src, mv)
+				if err != nil {
+					log.Fatal(err)
+				}
+				var fl, fr []float64
+				for y := range out {
+					fl = append(fl, out[y]...)
+					fr = append(fr, ref[y]...)
+				}
+				p, err := metrics.NoisePower(fl, fr)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("  %8.1f", metrics.DB(p))
+			}
+		}
+		fmt.Println()
+	}
+
+	// --- Chroma: eighth-pel positions with the 4-tap filters.
+	chroma := hevc.NewChromaInterp()
+	csrc := dataset.Block(r, 11, 11, 0.999) // 8 + 4 - 1 window
+	fmt.Println("\nchroma 4-tap interpolation (noise power in dB at w=8)")
+	cfg := make(space.Config, chroma.Nv())
+	for i := range cfg {
+		cfg[i] = 8
+	}
+	fmt.Printf("%8s", "fy\\fx")
+	for fx := 1; fx <= 7; fx += 2 {
+		fmt.Printf("  %6d/8", fx)
+	}
+	fmt.Println()
+	for fy := 1; fy <= 7; fy += 2 {
+		fmt.Printf("%7d/8", fy)
+		for fx := 1; fx <= 7; fx += 2 {
+			mv := hevc.ChromaMV{FracX: fx, FracY: fy}
+			ref, err := chroma.Reference(csrc, mv)
+			if err != nil {
+				log.Fatal(err)
+			}
+			out, err := chroma.Fixed(cfg, csrc, mv)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var fl, fr []float64
+			for y := range out {
+				fl = append(fl, out[y]...)
+				fr = append(fr, ref[y]...)
+			}
+			p, err := metrics.NoisePower(fl, fr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %8.1f", metrics.DB(p))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nEach added bit buys ~6 dB; the half-pel positions use the longest")
+	fmt.Println("filters and show the largest datapath noise.")
+}

@@ -1,0 +1,64 @@
+// Quickstart: kriging-accelerated evaluation of a synthetic quality
+// metric.
+//
+// The example wraps an "expensive" two-variable simulator in the
+// kriging-based evaluator and walks a diagonal path through the
+// configuration hypercube. After a few real simulations the evaluator
+// starts answering from interpolation; the printout shows, per query,
+// whether it simulated or kriged, and how close the kriged values are to
+// the truth.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+	"repro/internal/space"
+)
+
+// expensiveSimulation stands in for an application-quality simulation:
+// a smooth two-knob accuracy field λ(w0, w1) = -(2^-w0 + 2^-w1), the
+// shape of a word-length noise surface.
+func expensiveSimulation(cfg repro.Config) (float64, error) {
+	return -(math.Exp2(-float64(cfg[0])) + math.Exp2(-float64(cfg[1]))), nil
+}
+
+func main() {
+	log.SetFlags(0)
+	sim := repro.SimulatorFunc{NumVars: 2, Fn: expensiveSimulation}
+
+	ev, err := repro.NewEvaluator(sim, repro.EvaluatorOptions{
+		D:     3, // interpolate from simulated configs within L1 distance 3
+		NnMin: 1, // needs more than one neighbour
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Walk a zig-zag path of single-bit increments, the kind of path a
+	// greedy word-length optimiser takes.
+	cur := space.Config{4, 4}
+	fmt.Println("query        source        lambda       truth        |err|")
+	fmt.Println("-----------------------------------------------------------")
+	for step := 0; step < 16; step++ {
+		cfg := cur.Clone()
+		res, err := ev.Evaluate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth, _ := expensiveSimulation(cfg)
+		fmt.Printf("%-12s %-13s %-12.4g %-12.4g %.2g\n",
+			cfg, res.Source, res.Lambda, truth, math.Abs(res.Lambda-truth))
+		cur[step%2]++ // alternate which knob gains a bit
+	}
+
+	st := ev.Stats()
+	fmt.Printf("\n%d queries: %d simulated, %d kriged (p = %.1f%%, mean support %.1f)\n",
+		st.Total(), st.NSim, st.NInterp, st.PercentInterpolated(), st.MeanNeighbors())
+}

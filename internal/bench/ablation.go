@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/evaluator"
+	"repro/internal/kriging"
+	"repro/internal/variogram"
+)
+
+// AblationRow is one row of an ablation study: a named variant's replay
+// statistics at one distance.
+type AblationRow struct {
+	Benchmark string
+	Variant   string
+	Row       evaluator.ReplayRow
+}
+
+// applyDefaultDomain installs the benchmark's default interpolation
+// domain (dB for noise-power metrics, clamped identity for probability
+// metrics) so ablations vary one factor at a time.
+func applyDefaultDomain(sp *Spec, opts *evaluator.Options) {
+	switch sp.ErrKind {
+	case evaluator.ErrorBits:
+		opts.Transform = evaluator.NegPowerToDB
+		opts.Untransform = evaluator.DBToNegPower
+	case evaluator.ErrorRelative:
+		opts.Transform = evaluator.Identity
+		opts.Untransform = evaluator.ClampProb
+	}
+}
+
+// AblateNnMin replays a recorded trajectory with different Nn,min
+// thresholds, reproducing the paper's closing observation that Nn,min = 2
+// "only reduces the number of configurations that can be interpolated".
+func AblateNnMin(sp *Spec, trace evaluator.Trace, d float64, values []int) ([]AblationRow, error) {
+	var out []AblationRow
+	for _, nm := range values {
+		opts := evaluator.Options{
+			D:          d,
+			NnMin:      nm,
+			MaxSupport: 10,
+			Interp:     &kriging.Ordinary{},
+		}
+		applyDefaultDomain(sp, &opts)
+		row, err := evaluator.Replay(trace, opts, sp.ErrKind)
+		if err != nil {
+			return nil, fmt.Errorf("bench: NnMin=%d ablation: %w", nm, err)
+		}
+		out = append(out, AblationRow{
+			Benchmark: sp.Name,
+			Variant:   fmt.Sprintf("NnMin=%d", nm),
+			Row:       row,
+		})
+	}
+	return out, nil
+}
+
+// AblateVariogram replays a trajectory with each semivariogram family.
+func AblateVariogram(sp *Spec, trace evaluator.Trace, d float64, kinds []variogram.Kind) ([]AblationRow, error) {
+	var out []AblationRow
+	for _, k := range kinds {
+		opts := evaluator.Options{
+			D:          d,
+			NnMin:      1,
+			MaxSupport: 10,
+			Interp:     &kriging.Ordinary{FitKind: k},
+		}
+		applyDefaultDomain(sp, &opts)
+		row, err := evaluator.Replay(trace, opts, sp.ErrKind)
+		if err != nil {
+			return nil, fmt.Errorf("bench: variogram %s ablation: %w", k, err)
+		}
+		out = append(out, AblationRow{
+			Benchmark: sp.Name,
+			Variant:   "variogram=" + k.String(),
+			Row:       row,
+		})
+	}
+	return out, nil
+}
+
+// AblateInterpolator replays a trajectory with kriging and the baseline
+// interpolators, quantifying what the variogram-aware weighting buys.
+func AblateInterpolator(sp *Spec, trace evaluator.Trace, d float64) ([]AblationRow, error) {
+	variants := []kriging.Interpolator{
+		&kriging.Ordinary{},
+		&kriging.Universal{},
+		&kriging.Simple{},
+		&kriging.IDW{},
+		&kriging.Nearest{},
+	}
+	var out []AblationRow
+	for _, ip := range variants {
+		opts := evaluator.Options{
+			D:          d,
+			NnMin:      1,
+			MaxSupport: 10,
+			Interp:     ip,
+		}
+		applyDefaultDomain(sp, &opts)
+		row, err := evaluator.Replay(trace, opts, sp.ErrKind)
+		if err != nil {
+			return nil, fmt.Errorf("bench: interpolator %s ablation: %w", ip.Name(), err)
+		}
+		out = append(out, AblationRow{
+			Benchmark: sp.Name,
+			Variant:   "interp=" + ip.Name(),
+			Row:       row,
+		})
+	}
+	return out, nil
+}
+
+// RenderAblation renders ablation rows as a text table.
+func RenderAblation(rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-11s %-24s %3s %8s %6s %10s %10s\n",
+		"benchmark", "variant", "d", "p(%)", "j", "max eps", "mu eps")
+	b.WriteString(strings.Repeat("-", 78) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s %-24s %3.0f %8.2f %6.2f %10.3f %10.3f\n",
+			r.Benchmark, r.Variant, r.Row.D, r.Row.Percent, r.Row.MeanNeigh, r.Row.MaxEps, r.Row.MeanEps)
+	}
+	return b.String()
+}

@@ -1,0 +1,56 @@
+package bench
+
+// explore_test.go holds a manually-invoked exploration harness used while
+// calibrating the default kriging configuration (variogram exponent and
+// interpolation domain) against the paper's Table I shape. It only runs
+// with -run TestExploreCalibration -v and never fails.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/evaluator"
+	"repro/internal/kriging"
+)
+
+func TestExploreCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration harness; run explicitly")
+	}
+	for _, name := range []string{"fir", "iir", "fft"} {
+		sp, err := SpecByName(name, Small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace, err := sp.Record(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: %d trace points", name, len(trace))
+		for _, beta := range []float64{1.5, 1.8, 1.99} {
+			for _, linear := range []bool{false, true} {
+				for _, d := range []float64{2, 5} {
+					opts := evaluator.Options{
+						D: d, NnMin: 1,
+						Interp: &kriging.Ordinary{PowerBeta: beta},
+					}
+					if !linear {
+						opts.Transform = evaluator.NegPowerToDB
+						opts.Untransform = evaluator.DBToNegPower
+					}
+					row, err := evaluator.Replay(trace, opts, sp.ErrKind)
+					if err != nil {
+						t.Fatal(err)
+					}
+					dom := "dB"
+					if linear {
+						dom = "lin"
+					}
+					t.Logf("%s beta=%.2f dom=%s d=%.0f: p=%.1f%% j=%.2f max=%.2f mu=%.2f inf=%d",
+						name, beta, dom, d, row.Percent, row.MeanNeigh, row.MaxEps, row.MeanEps, row.EpsInfCount)
+				}
+			}
+		}
+		_ = fmt.Sprint()
+	}
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ScalingRow is one point of the p%-versus-Nv study: how the interpolated
+// share at a fixed distance grows with the number of optimisation
+// variables, the qualitative trend the paper's Section IV narrates
+// ("when the number of variables in the considered benchmark increases
+// ... the number of configurations that can be estimated increases").
+type ScalingRow struct {
+	Name    string
+	Nv      int
+	Percent float64 // p% at the study distance
+	MeanEps float64
+}
+
+// ScalingStudy records the named benchmarks and reports p% at distance d
+// for each, sorted by Nv. Nil names selects all the word-length
+// benchmarks (the classification benchmark's ε is in different units, so
+// it is left out of the default sweep).
+func ScalingStudy(names []string, size Size, seed uint64, d float64) ([]ScalingRow, error) {
+	if len(names) == 0 {
+		names = []string{"fir", "iir", "fft", "hevc-chroma", "hevc"}
+	}
+	var rows []ScalingRow
+	for _, name := range names {
+		sp, err := SpecByName(name, size)
+		if err != nil {
+			return nil, err
+		}
+		res, err := RunBenchmark(sp, Table1Options{Seed: seed, Distances: []float64{d}})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ScalingRow{
+			Name:    sp.Name,
+			Nv:      sp.Nv,
+			Percent: res.Rows[0].Percent,
+			MeanEps: res.Rows[0].MeanEps,
+		})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Nv < rows[j].Nv })
+	return rows, nil
+}
+
+// RenderScaling renders the study as a text table.
+func RenderScaling(rows []ScalingRow, d float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "interpolated share vs. problem dimensionality (d = %v)\n", d)
+	fmt.Fprintf(&b, "%-13s %4s %8s %10s\n", "benchmark", "Nv", "p(%)", "mu eps")
+	b.WriteString(strings.Repeat("-", 40) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-13s %4d %8.2f %10.3f\n", r.Name, r.Nv, r.Percent, r.MeanEps)
+	}
+	return b.String()
+}

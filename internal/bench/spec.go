@@ -1,0 +1,275 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure of the paper's evaluation section: the Table I rows for the
+// five benchmarks, the Figure 1 noise-power surface, the speed-up model
+// of Eq. 2, and the ablation studies (Nn,min, variogram family,
+// interpolator).
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/evaluator"
+	"repro/internal/hevc"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/signal"
+	"repro/internal/space"
+)
+
+// Size scales a benchmark between a fast smoke configuration (for unit
+// tests) and the full paper-scale configuration (for cmd/table1).
+type Size int
+
+// Benchmark sizes.
+const (
+	// Small keeps trajectory recording under a second per benchmark.
+	Small Size = iota
+	// Full approaches the paper's data-set sizes.
+	Full
+)
+
+// Spec describes one Table I benchmark: how to build its simulator, the
+// optimisation problem that generates its trajectory, and how its
+// interpolation error is expressed.
+type Spec struct {
+	// Name is the benchmark identifier ("fir", "iir", "fft", "hevc",
+	// "squeezenet").
+	Name string
+	// Metric is the display name of the quality metric.
+	Metric string
+	// Nv is the number of optimisation variables.
+	Nv int
+	// ErrKind selects Eq. 11 (bits) or Eq. 12 (relative).
+	ErrKind evaluator.ErrorKind
+	// Record runs the simulation-only optimiser and returns the
+	// recorded trajectory, the paper's Table I input.
+	Record func(seed uint64) (evaluator.Trace, error)
+	// NewSimulator builds a fresh simulator for live (non-replay) runs
+	// such as the speed-up measurement.
+	NewSimulator func(seed uint64) (evaluator.Simulator, error)
+	// Bounds is the configuration search box.
+	Bounds space.Bounds
+	// LambdaMin is the quality constraint used by the optimiser.
+	LambdaMin float64
+}
+
+// signalSpec builds a Spec for one of the three signal kernels.
+func signalSpec(name, metric string, mk func(seed uint64) (signal.Benchmark, error), lambdaMin float64) (*Spec, error) {
+	probe, err := mk(1)
+	if err != nil {
+		return nil, err
+	}
+	sp := &Spec{
+		Name:      name,
+		Metric:    metric,
+		Nv:        probe.Nv(),
+		ErrKind:   evaluator.ErrorBits,
+		Bounds:    probe.Bounds(),
+		LambdaMin: lambdaMin,
+	}
+	sp.NewSimulator = func(seed uint64) (evaluator.Simulator, error) {
+		b, err := mk(seed)
+		if err != nil {
+			return nil, err
+		}
+		return &signal.Simulator{B: b}, nil
+	}
+	sp.Record = func(seed uint64) (evaluator.Trace, error) {
+		sim, err := sp.NewSimulator(seed)
+		if err != nil {
+			return nil, err
+		}
+		return recordMinPlusOne(sim, optim.MinPlusOneOptions{
+			LambdaMin: sp.LambdaMin,
+			Bounds:    sp.Bounds,
+		})
+	}
+	return sp, nil
+}
+
+// recordMinPlusOne runs the min+1 bit algorithm against a caching,
+// recording wrapper of sim and returns the trajectory of distinct
+// configurations in first-tested order.
+func recordMinPlusOne(sim evaluator.Simulator, opts optim.MinPlusOneOptions) (evaluator.Trace, error) {
+	caching := evaluator.NewCachingSimulator(sim)
+	rec := &evaluator.RecordingSimulator{Inner: caching}
+	if _, err := optim.MinPlusOne(rec, opts); err != nil {
+		return nil, fmt.Errorf("bench: recording trajectory: %w", err)
+	}
+	return rec.Trace, nil
+}
+
+// NewFIRSpec builds the FIR benchmark (Nv = 2, noise power).
+func NewFIRSpec(size Size) (*Spec, error) {
+	n := 256
+	if size == Full {
+		n = 4096
+	}
+	return signalSpec("fir", "Noise Power",
+		func(seed uint64) (signal.Benchmark, error) { return signal.NewFIRBenchmark(seed, n) },
+		-1e-4) // -40 dB output noise constraint
+}
+
+// NewIIRSpec builds the IIR benchmark (Nv = 5, noise power).
+func NewIIRSpec(size Size) (*Spec, error) {
+	n := 256
+	if size == Full {
+		n = 4096
+	}
+	return signalSpec("iir", "Noise Power",
+		func(seed uint64) (signal.Benchmark, error) { return signal.NewIIRBenchmark(seed, n) },
+		-1e-4)
+}
+
+// NewFFTSpec builds the FFT benchmark (Nv = 10, noise power).
+func NewFFTSpec(size Size) (*Spec, error) {
+	frames := 4
+	if size == Full {
+		frames = 64
+	}
+	return signalSpec("fft", "Noise Power",
+		func(seed uint64) (signal.Benchmark, error) { return signal.NewFFTBenchmark(seed, frames) },
+		-1e-4)
+}
+
+// NewHEVCSpec builds the HEVC motion-compensation benchmark (Nv = 23,
+// noise power). The paper's constraint on this benchmark is -50 dB.
+func NewHEVCSpec(size Size) (*Spec, error) {
+	blocks := 8
+	if size == Full {
+		blocks = 64
+	}
+	return signalSpec("hevc", "Noise Power",
+		func(seed uint64) (signal.Benchmark, error) { return hevc.NewBenchmark(seed, blocks) },
+		-1e-5) // -50 dB
+}
+
+// NewHEVCChromaSpec builds the chroma motion-compensation benchmark
+// (Nv = 12, noise power) — an extension beyond the paper's five
+// benchmarks using the HEVC 4-tap eighth-pel filter bank.
+func NewHEVCChromaSpec(size Size) (*Spec, error) {
+	blocks := 8
+	if size == Full {
+		blocks = 64
+	}
+	return signalSpec("hevc-chroma", "Noise Power",
+		func(seed uint64) (signal.Benchmark, error) { return hevc.NewChromaBenchmark(seed, blocks) },
+		-1e-5)
+}
+
+// NewHEVCSSIMSpec builds the SSIM variant of the motion-compensation
+// benchmark (Nv = 23, QoS metric, relative interpolation error) — the
+// paper's metric-genericity claim exercised on a bounded non-linear
+// metric with the min+1 optimiser unchanged.
+func NewHEVCSSIMSpec(size Size) (*Spec, error) {
+	blocks := 8
+	if size == Full {
+		blocks = 64
+	}
+	probe, err := hevc.NewSSIMBenchmark(1, 1)
+	if err != nil {
+		return nil, err
+	}
+	sp := &Spec{
+		Name:      "hevc-ssim",
+		Metric:    "SSIM",
+		Nv:        probe.Nv(),
+		ErrKind:   evaluator.ErrorRelative,
+		Bounds:    probe.Bounds(),
+		LambdaMin: 0.9999, // SSIM constraint: visually lossless
+	}
+	sp.NewSimulator = func(seed uint64) (evaluator.Simulator, error) {
+		return hevc.NewSSIMBenchmark(seed, blocks)
+	}
+	sp.Record = func(seed uint64) (evaluator.Trace, error) {
+		sim, err := sp.NewSimulator(seed)
+		if err != nil {
+			return nil, err
+		}
+		return recordMinPlusOne(sim, optim.MinPlusOneOptions{
+			LambdaMin: sp.LambdaMin,
+			Bounds:    sp.Bounds,
+		})
+	}
+	return sp, nil
+}
+
+// NewSqueezeNetSpec builds the error-sensitivity benchmark (Nv = 10,
+// classification rate). Its trajectory comes from the steepest-descent
+// noise-budgeting optimiser instead of min+1.
+func NewSqueezeNetSpec(size Size) (*Spec, error) {
+	images := 60
+	if size == Full {
+		images = 1000
+	}
+	const pclMin = 0.90
+	probe, err := nn.NewSensitivityBenchmark(1, 1)
+	if err != nil {
+		return nil, err
+	}
+	sp := &Spec{
+		Name:      "squeezenet",
+		Metric:    "Classification rate",
+		Nv:        probe.Nv(),
+		ErrKind:   evaluator.ErrorRelative,
+		Bounds:    probe.Bounds(),
+		LambdaMin: pclMin,
+	}
+	sp.NewSimulator = func(seed uint64) (evaluator.Simulator, error) {
+		return nn.NewSensitivityBenchmark(seed, images)
+	}
+	sp.Record = func(seed uint64) (evaluator.Trace, error) {
+		sim, err := sp.NewSimulator(seed)
+		if err != nil {
+			return nil, err
+		}
+		caching := evaluator.NewCachingSimulator(sim)
+		rec := &evaluator.RecordingSimulator{Inner: caching}
+		if _, err := optim.NoiseBudget(rec, optim.NoiseBudgetOptions{
+			LambdaMin: pclMin,
+			Bounds:    sp.Bounds,
+		}); err != nil {
+			return nil, fmt.Errorf("bench: recording squeezenet trajectory: %w", err)
+		}
+		return rec.Trace, nil
+	}
+	return sp, nil
+}
+
+// AllSpecs returns the five Table I benchmarks in paper order.
+func AllSpecs(size Size) ([]*Spec, error) {
+	builders := []func(Size) (*Spec, error){
+		NewFIRSpec, NewIIRSpec, NewFFTSpec, NewHEVCSpec, NewSqueezeNetSpec,
+	}
+	var out []*Spec
+	for _, b := range builders {
+		sp, err := b(size)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sp)
+	}
+	return out, nil
+}
+
+// SpecByName returns the named benchmark spec.
+func SpecByName(name string, size Size) (*Spec, error) {
+	switch name {
+	case "fir":
+		return NewFIRSpec(size)
+	case "iir":
+		return NewIIRSpec(size)
+	case "fft":
+		return NewFFTSpec(size)
+	case "hevc":
+		return NewHEVCSpec(size)
+	case "hevc-chroma":
+		return NewHEVCChromaSpec(size)
+	case "hevc-ssim":
+		return NewHEVCSSIMSpec(size)
+	case "squeezenet":
+		return NewSqueezeNetSpec(size)
+	default:
+		return nil, fmt.Errorf("bench: unknown benchmark %q", name)
+	}
+}

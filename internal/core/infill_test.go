@@ -1,0 +1,108 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/evaluator"
+	"repro/internal/space"
+)
+
+func TestRunInfillExtendsPilot(t *testing.T) {
+	p, sim := newPipeline(t, Options{
+		D:           3,
+		Transform:   evaluator.NegPowerToDB,
+		Untransform: evaluator.DBToNegPower,
+	})
+	if err := p.RunPilot(12, 1); err != nil {
+		t.Fatal(err)
+	}
+	callsBefore := sim.calls
+	res, err := p.RunInfill(InfillOptions{Budget: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Added) != 6 || len(res.Variances) != 6 {
+		t.Fatalf("infill added %d points", len(res.Added))
+	}
+	if p.PilotSize() != 18 {
+		t.Errorf("pilot size %d, want 18", p.PilotSize())
+	}
+	if sim.calls != callsBefore+6 {
+		t.Errorf("simulator calls %d, want %d", sim.calls, callsBefore+6)
+	}
+	// No duplicates among the additions or against the pilot.
+	seen := map[string]bool{}
+	for _, c := range res.Added {
+		if seen[c.Key()] {
+			t.Errorf("infill selected %v twice", c)
+		}
+		seen[c.Key()] = true
+	}
+	for _, v := range res.Variances {
+		if v < 0 {
+			t.Errorf("negative selection variance %v", v)
+		}
+	}
+}
+
+func TestRunInfillReducesUncertainty(t *testing.T) {
+	p, _ := newPipeline(t, Options{
+		D:           3,
+		Transform:   evaluator.NegPowerToDB,
+		Untransform: evaluator.DBToNegPower,
+	})
+	if err := p.RunPilot(10, 3); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.RunInfill(InfillOptions{Budget: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The variance of the selected point should trend downward as the
+	// surrogate saturates: compare first-third and last-third means.
+	third := len(res.Variances) / 3
+	var early, late float64
+	for i := 0; i < third; i++ {
+		early += res.Variances[i]
+		late += res.Variances[len(res.Variances)-1-i]
+	}
+	if late > early*1.5 {
+		t.Errorf("selection variance grew: early %v late %v", early, late)
+	}
+}
+
+func TestRunInfillValidation(t *testing.T) {
+	p, _ := newPipeline(t, Options{D: 3})
+	if _, err := p.RunInfill(InfillOptions{Budget: 0}); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := p.RunInfill(InfillOptions{Budget: 2}); !errors.Is(err, ErrNoPilot) {
+		t.Error("infill without pilot accepted")
+	}
+}
+
+func TestRunInfillInvalidatesIdentification(t *testing.T) {
+	p, _ := newPipeline(t, Options{D: 3})
+	if err := p.RunPilot(10, 1); err != nil {
+		t.Fatal(err)
+	}
+	id1, err := p.Identify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RunInfill(InfillOptions{Budget: 2, Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	id2, err := p.Identify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == id2 {
+		t.Error("identification not refreshed after infill")
+	}
+	if id2.Samples != 12 {
+		t.Errorf("refreshed identification covers %d samples, want 12", id2.Samples)
+	}
+	_ = space.Config{}
+}

@@ -1,0 +1,35 @@
+package evaluator
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadTrace hardens the trace parser: arbitrary bytes must never
+// panic, and any successfully-parsed trace must round-trip.
+func FuzzLoadTrace(f *testing.F) {
+	f.Add(`{"version":1,"points":[{"config":[1,2],"lambda":-0.5}]}`)
+	f.Add(`{"version":1,"points":[]}`)
+	f.Add(`{"version":2,"points":[{"config":[1],"lambda":0}]}`)
+	f.Add(`[1,2,3]`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, data string) {
+		trace, err := LoadTrace(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must be serialisable and re-loadable.
+		var buf bytes.Buffer
+		if err := SaveTrace(&buf, trace); err != nil {
+			t.Fatalf("accepted trace failed to save: %v", err)
+		}
+		again, err := LoadTrace(&buf)
+		if err != nil {
+			t.Fatalf("saved trace failed to reload: %v", err)
+		}
+		if len(again) != len(trace) {
+			t.Fatalf("round trip changed length: %d -> %d", len(trace), len(again))
+		}
+	})
+}

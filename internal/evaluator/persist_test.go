@@ -1,0 +1,63 @@
+package evaluator
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/space"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	in := Trace{
+		{Config: space.Config{3, 4}, Lambda: -0.25},
+		{Config: space.Config{5, 6}, Lambda: -1e-9},
+	}
+	var buf bytes.Buffer
+	if err := SaveTrace(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip lost points: %d vs %d", len(out), len(in))
+	}
+	for i := range in {
+		if !out[i].Config.Equal(in[i].Config) || out[i].Lambda != in[i].Lambda {
+			t.Errorf("point %d: %+v vs %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestLoadTraceRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "not json",
+		"wrong version": `{"version": 99, "points": [{"config":[1],"lambda":0}]}`,
+		"empty":         `{"version": 1, "points": []}`,
+		"ragged":        `{"version": 1, "points": [{"config":[1],"lambda":0},{"config":[1,2],"lambda":0}]}`,
+	}
+	for name, payload := range cases {
+		if _, err := LoadTrace(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestSavedTraceIsIndependent(t *testing.T) {
+	cfg := space.Config{1, 2}
+	in := Trace{{Config: cfg, Lambda: 1}}
+	var buf bytes.Buffer
+	if err := SaveTrace(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	cfg[0] = 99 // mutating the source must not corrupt a reload
+	out, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Config[0] != 1 {
+		t.Error("saved trace aliased the caller's config")
+	}
+}

@@ -1,0 +1,8 @@
+package evaluator
+
+// VariancePredictor is implemented by interpolators that can report the
+// kriging variance of Eq. 5 alongside the prediction (e.g.
+// kriging.Ordinary). The evaluator uses it for variance gating.
+type VariancePredictor interface {
+	PredictVar(xs [][]float64, ys []float64, x []float64) (value, variance float64, err error)
+}

@@ -1,0 +1,104 @@
+package fixed
+
+import "fmt"
+
+// Node is a named quantisation point in a fixed-point datapath whose
+// fractional word-length is an optimisation variable. The benchmarks
+// build their datapaths out of Nodes so that a space.Config (one integer
+// per node) can be applied uniformly: configuration value w at a node
+// means "keep w fractional bits at this point".
+type Node struct {
+	// Name identifies the node in diagnostics ("mult_out", "acc", ...).
+	Name string
+	// IntBits is the fixed integer part chosen from the datapath's
+	// dynamic-range analysis; it does not change during optimisation.
+	IntBits int
+	// Format is the current full format; FracBits is rewritten by Apply.
+	Format Format
+}
+
+// NewNode builds a node with the given name and integer bits, truncation
+// quantisation and saturating overflow, with a provisional fractional
+// word-length of 15 bits.
+func NewNode(name string, intBits int) *Node {
+	return &Node{
+		Name:    name,
+		IntBits: intBits,
+		Format:  NewFormat(intBits, 15),
+	}
+}
+
+// SetFrac sets the node's fractional word-length.
+func (n *Node) SetFrac(frac int) {
+	n.Format.IntBits = n.IntBits
+	n.Format.FracBits = frac
+}
+
+// Q quantises x through the node's current format.
+func (n *Node) Q(x float64) float64 { return n.Format.Quantize(x) }
+
+// Datapath is an ordered collection of quantisation nodes; its length is
+// the Nv of the benchmark that owns it.
+type Datapath struct {
+	Nodes []*Node
+}
+
+// NewDatapath creates an empty datapath.
+func NewDatapath() *Datapath { return &Datapath{} }
+
+// AddNode appends a fresh node and returns it.
+func (d *Datapath) AddNode(name string, intBits int) *Node {
+	n := NewNode(name, intBits)
+	d.Nodes = append(d.Nodes, n)
+	return n
+}
+
+// Nv returns the number of optimisation variables (nodes).
+func (d *Datapath) Nv() int { return len(d.Nodes) }
+
+// Apply sets the fractional word-length of node i to cfg[i] for all nodes.
+//
+// Apply mutates the shared nodes; concurrent evaluations of the same
+// datapath must use Formats instead.
+func (d *Datapath) Apply(cfg []int) error {
+	if len(cfg) != len(d.Nodes) {
+		return fmt.Errorf("fixed: config has %d entries for %d nodes", len(cfg), len(d.Nodes))
+	}
+	for i, n := range d.Nodes {
+		if cfg[i] < 0 {
+			return fmt.Errorf("fixed: negative word-length %d at node %s", cfg[i], n.Name)
+		}
+		n.SetFrac(cfg[i])
+	}
+	return nil
+}
+
+// Formats returns the per-node formats a configuration induces without
+// touching the shared nodes, so several goroutines can evaluate the same
+// datapath under different configurations concurrently. Formats[i]
+// corresponds to Nodes[i].
+func (d *Datapath) Formats(cfg []int) ([]Format, error) {
+	if len(cfg) != len(d.Nodes) {
+		return nil, fmt.Errorf("fixed: config has %d entries for %d nodes", len(cfg), len(d.Nodes))
+	}
+	out := make([]Format, len(d.Nodes))
+	for i, n := range d.Nodes {
+		if cfg[i] < 0 {
+			return nil, fmt.Errorf("fixed: negative word-length %d at node %s", cfg[i], n.Name)
+		}
+		f := n.Format
+		f.IntBits = n.IntBits
+		f.FracBits = cfg[i]
+		out[i] = f
+	}
+	return out, nil
+}
+
+// Names returns the node names in order.
+func (d *Datapath) Names() []string {
+	out := make([]string, len(d.Nodes))
+	for i, n := range d.Nodes {
+		out[i] = n.Name
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package fixed
+
+import (
+	"testing"
+)
+
+func TestNodeSetFrac(t *testing.T) {
+	n := NewNode("acc", 2)
+	n.SetFrac(7)
+	if n.Format.FracBits != 7 || n.Format.IntBits != 2 {
+		t.Errorf("format after SetFrac: %+v", n.Format)
+	}
+	if got := n.Q(0.3); got != 0.2968750 {
+		// 0.3 truncated to 7 fractional bits: floor(0.3*128)/128 = 38/128.
+		t.Errorf("Q(0.3) = %v", got)
+	}
+}
+
+func TestDatapathApply(t *testing.T) {
+	d := NewDatapath()
+	d.AddNode("a", 0)
+	d.AddNode("b", 1)
+	if d.Nv() != 2 {
+		t.Fatalf("Nv = %d", d.Nv())
+	}
+	if err := d.Apply([]int{4, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Nodes[0].Format.FracBits != 4 || d.Nodes[1].Format.FracBits != 9 {
+		t.Error("Apply did not set fractional bits")
+	}
+	if d.Nodes[1].Format.IntBits != 1 {
+		t.Error("Apply lost integer bits")
+	}
+}
+
+func TestDatapathApplyErrors(t *testing.T) {
+	d := NewDatapath()
+	d.AddNode("a", 0)
+	if err := d.Apply([]int{1, 2}); err == nil {
+		t.Error("wrong-length config accepted")
+	}
+	if err := d.Apply([]int{-1}); err == nil {
+		t.Error("negative word-length accepted")
+	}
+}
+
+func TestDatapathFormats(t *testing.T) {
+	d := NewDatapath()
+	d.AddNode("a", 0)
+	d.AddNode("b", 2)
+	fmts, err := d.Formats([]int{5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmts[0].FracBits != 5 || fmts[0].IntBits != 0 {
+		t.Errorf("fmts[0] = %+v", fmts[0])
+	}
+	if fmts[1].FracBits != 9 || fmts[1].IntBits != 2 {
+		t.Errorf("fmts[1] = %+v", fmts[1])
+	}
+	// Formats must not touch the shared nodes.
+	if d.Nodes[0].Format.FracBits == 5 {
+		t.Error("Formats mutated node state")
+	}
+	if _, err := d.Formats([]int{1}); err == nil {
+		t.Error("short config accepted")
+	}
+	if _, err := d.Formats([]int{-1, 2}); err == nil {
+		t.Error("negative word-length accepted")
+	}
+}
+
+func TestDatapathFormatsAgreeWithApply(t *testing.T) {
+	d := NewDatapath()
+	d.AddNode("x", 1)
+	d.AddNode("y", 3)
+	cfg := []int{7, 11}
+	fmts, err := d.Formats(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Apply(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range d.Nodes {
+		for _, v := range []float64{0.3, -1.7, 2.22} {
+			if fmts[i].Quantize(v) != n.Q(v) {
+				t.Fatalf("node %d: Formats and Apply disagree at %v", i, v)
+			}
+		}
+	}
+}
+
+func TestDatapathNames(t *testing.T) {
+	d := NewDatapath()
+	d.AddNode("x", 0)
+	d.AddNode("y", 0)
+	names := d.Names()
+	if len(names) != 2 || names[0] != "x" || names[1] != "y" {
+		t.Errorf("Names = %v", names)
+	}
+}

@@ -1,0 +1,140 @@
+package kriging
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// IDW is the inverse-distance-weighting baseline interpolator:
+// λ̂(x) = Σ w_k·λ_k / Σ w_k with w_k = 1 / d(x, x_k)^Power.
+// It is not the paper's method; it exists to quantify, in the ablation
+// benches, how much of the accuracy comes from kriging's variogram-aware
+// weighting versus plain distance weighting.
+type IDW struct {
+	// Dist is the separation measure; nil means L1.
+	Dist Distance
+	// Power is the distance exponent; zero selects 2, the classical
+	// Shepard choice.
+	Power float64
+}
+
+// Name implements Interpolator.
+func (w *IDW) Name() string { return "idw" }
+
+// Predict implements Interpolator.
+func (w *IDW) Predict(xs [][]float64, ys []float64, x []float64) (float64, error) {
+	n := len(xs)
+	if n == 0 {
+		return 0, ErrNoSupport
+	}
+	if len(ys) != n {
+		return 0, fmt.Errorf("kriging: %d coordinates but %d values", n, len(ys))
+	}
+	dist := w.Dist
+	if dist == nil {
+		dist = L1Distance
+	}
+	p := w.Power
+	if p == 0 {
+		p = 2
+	}
+	var num, den float64
+	for k := 0; k < n; k++ {
+		d := dist(x, xs[k])
+		if d == 0 {
+			return ys[k], nil // exact hit
+		}
+		wk := 1 / math.Pow(d, p)
+		num += wk * ys[k]
+		den += wk
+	}
+	if den == 0 {
+		return 0, ErrDegenerate
+	}
+	return num / den, nil
+}
+
+// Capped wraps another interpolator and restricts every prediction to
+// the K nearest support points. Large kriging systems built from an
+// unbounded variogram grow ill-conditioned; Numerical Recipes recommends
+// keeping supports to "order 20 or fewer", and the evaluator uses the
+// same cap, so cross-validation through Capped reflects production
+// behaviour.
+type Capped struct {
+	Inner Interpolator
+	K     int
+	// Dist ranks the supports; nil means L1.
+	Dist Distance
+}
+
+// Name implements Interpolator.
+func (c *Capped) Name() string { return c.Inner.Name() + "-capped" }
+
+// Predict implements Interpolator.
+func (c *Capped) Predict(xs [][]float64, ys []float64, x []float64) (float64, error) {
+	n := len(xs)
+	if n == 0 {
+		return 0, ErrNoSupport
+	}
+	if len(ys) != n {
+		return 0, fmt.Errorf("kriging: %d coordinates but %d values", n, len(ys))
+	}
+	if c.K <= 0 || n <= c.K {
+		return c.Inner.Predict(xs, ys, x)
+	}
+	dist := c.Dist
+	if dist == nil {
+		dist = L1Distance
+	}
+	type cand struct {
+		d float64
+		i int
+	}
+	cands := make([]cand, n)
+	for i := range xs {
+		cands[i] = cand{d: dist(x, xs[i]), i: i}
+	}
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+	subX := make([][]float64, c.K)
+	subY := make([]float64, c.K)
+	for i := 0; i < c.K; i++ {
+		subX[i] = xs[cands[i].i]
+		subY[i] = ys[cands[i].i]
+	}
+	return c.Inner.Predict(subX, subY, x)
+}
+
+// Nearest is the 1-nearest-neighbour baseline interpolator: the value of
+// the closest support point. Ties resolve to the lowest index, keeping
+// the predictor deterministic.
+type Nearest struct {
+	// Dist is the separation measure; nil means L1.
+	Dist Distance
+}
+
+// Name implements Interpolator.
+func (nn *Nearest) Name() string { return "nearest" }
+
+// Predict implements Interpolator.
+func (nn *Nearest) Predict(xs [][]float64, ys []float64, x []float64) (float64, error) {
+	n := len(xs)
+	if n == 0 {
+		return 0, ErrNoSupport
+	}
+	if len(ys) != n {
+		return 0, fmt.Errorf("kriging: %d coordinates but %d values", n, len(ys))
+	}
+	dist := nn.Dist
+	if dist == nil {
+		dist = L1Distance
+	}
+	best := 0
+	bestD := dist(x, xs[0])
+	for k := 1; k < n; k++ {
+		if d := dist(x, xs[k]); d < bestD {
+			best, bestD = k, d
+		}
+	}
+	return ys[best], nil
+}

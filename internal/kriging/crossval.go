@@ -1,0 +1,60 @@
+package kriging
+
+import "math"
+
+// LOOCVResult summarises a leave-one-out cross-validation of an
+// interpolator over a sample set.
+type LOOCVResult struct {
+	N        int     // predictions attempted
+	Failed   int     // predictions that returned an error
+	MeanAbs  float64 // mean absolute prediction error
+	RMS      float64 // root-mean-square prediction error
+	MaxAbs   float64 // worst absolute prediction error
+	MeanBias float64 // mean signed error (should be ~0 for unbiased kriging)
+}
+
+// LeaveOneOut predicts each sample from all the others and aggregates the
+// errors. It is the standard sanity check that a variogram model and
+// interpolator match a data set.
+func LeaveOneOut(ip Interpolator, xs [][]float64, ys []float64) LOOCVResult {
+	n := len(xs)
+	res := LOOCVResult{}
+	if n < 2 {
+		return res
+	}
+	subX := make([][]float64, 0, n-1)
+	subY := make([]float64, 0, n-1)
+	var sumAbs, sumSq, sumBias float64
+	for i := 0; i < n; i++ {
+		subX = subX[:0]
+		subY = subY[:0]
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			subX = append(subX, xs[j])
+			subY = append(subY, ys[j])
+		}
+		pred, err := ip.Predict(subX, subY, xs[i])
+		res.N++
+		if err != nil {
+			res.Failed++
+			continue
+		}
+		e := pred - ys[i]
+		a := math.Abs(e)
+		sumAbs += a
+		sumSq += e * e
+		sumBias += e
+		if a > res.MaxAbs {
+			res.MaxAbs = a
+		}
+	}
+	ok := res.N - res.Failed
+	if ok > 0 {
+		res.MeanAbs = sumAbs / float64(ok)
+		res.RMS = math.Sqrt(sumSq / float64(ok))
+		res.MeanBias = sumBias / float64(ok)
+	}
+	return res
+}

@@ -1,0 +1,45 @@
+package kriging
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// FuzzOrdinaryPredict hammers the kriging system assembly with arbitrary
+// support layouts: the solver must either return a finite value or a
+// clean error — never NaN, never a panic.
+func FuzzOrdinaryPredict(f *testing.F) {
+	f.Add(uint64(1), uint8(4), false)
+	f.Add(uint64(2), uint8(1), true)
+	f.Add(uint64(99), uint8(12), false)
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw uint8, duplicate bool) {
+		r := rng.New(seed)
+		n := int(nRaw%12) + 1
+		xs := make([][]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = []float64{float64(r.Intn(6)), float64(r.Intn(6))}
+			ys[i] = r.NormScaled(0, 100)
+		}
+		if duplicate && n >= 2 {
+			xs[1] = xs[0] // exercise the coincident-support path
+		}
+		for _, ip := range []Interpolator{
+			&Ordinary{},
+			&Universal{},
+			&Simple{},
+			&IDW{},
+			&Nearest{},
+		} {
+			got, err := ip.Predict(xs, ys, []float64{2.5, 2.5})
+			if err != nil {
+				continue
+			}
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("%s returned non-finite %v", ip.Name(), got)
+			}
+		}
+	})
+}

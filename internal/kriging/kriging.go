@@ -1,0 +1,235 @@
+// Package kriging implements the geostatistical interpolators at the heart
+// of the paper: ordinary kriging exactly as written in Eqs. 7-10 (the
+// (N+1)×(N+1) system with a Lagrange row enforcing the unbiasedness
+// constraint of Eq. 6), simple kriging, and the inverse-distance and
+// nearest-neighbour baselines used by the ablation benches.
+package kriging
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/variogram"
+)
+
+// ErrNoSupport is returned when an interpolation is requested with no
+// support points.
+var ErrNoSupport = errors.New("kriging: no support points")
+
+// ErrDegenerate is returned when the kriging system cannot be solved
+// (singular Γ matrix even after regularisation).
+var ErrDegenerate = errors.New("kriging: degenerate system")
+
+// Interpolator predicts the value of a random field at a query point from
+// known (coordinate, value) samples. Implementations: *Ordinary,
+// *Simple, *IDW, *Nearest.
+type Interpolator interface {
+	// Predict returns the interpolated value at x given support
+	// coordinates xs and values ys.
+	Predict(xs [][]float64, ys []float64, x []float64) (float64, error)
+	// Name returns a short identifier for reports.
+	Name() string
+}
+
+// Distance is the separation measure used inside the variogram and the
+// interpolators. The paper uses the L1 norm on the configuration lattice.
+type Distance func(a, b []float64) float64
+
+// L1Distance is the Manhattan distance, the paper's choice.
+func L1Distance(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += math.Abs(v - b[i])
+	}
+	return s
+}
+
+// L2Distance is the Euclidean distance.
+func L2Distance(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Ordinary is the ordinary-kriging interpolator of Eqs. 7-10. For each
+// prediction it fits (or reuses) a semivariogram model over the support,
+// assembles the augmented matrix Γ of Eq. 9 and the vector γ_i of Eq. 8,
+// and returns λ̂(e_i) = γ_i · Γ⁻¹ · λ (Eq. 10), solved by LU rather than
+// an explicit inverse.
+type Ordinary struct {
+	// Dist is the separation measure; nil means L1 (the paper's).
+	Dist Distance
+	// Model, when non-nil, is used as the semivariogram for every
+	// prediction ("the identification of the semi-variogram has to be
+	// done once for a particular metric and application"). When nil, a
+	// model of kind FitKind is fitted to the support of each query.
+	Model variogram.Model
+	// FitKind selects the family fitted per query when Model is nil.
+	// The zero value is variogram.Power, the Numerical Recipes model.
+	FitKind variogram.Kind
+	// PowerBeta overrides the power-law exponent β used when FitKind is
+	// variogram.Power; zero selects variogram.DefaultBeta. Values close
+	// to 2 make the predictor extend linear trends when extrapolating
+	// beyond the support hull (the situation of the min+1 phase-1
+	// frontier); see the variogram ablation bench.
+	PowerBeta float64
+	// Nugget is added on the diagonal of Γ (and to the fitted model) to
+	// regularise nearly-coincident supports. Zero selects a tiny
+	// scale-relative default.
+	Nugget float64
+}
+
+// Name implements Interpolator.
+func (o *Ordinary) Name() string { return "ordinary-kriging" }
+
+func (o *Ordinary) dist() Distance {
+	if o.Dist != nil {
+		return o.Dist
+	}
+	return L1Distance
+}
+
+func (o *Ordinary) model(xs [][]float64, ys []float64) (variogram.Model, error) {
+	if o.Model != nil {
+		return o.Model, nil
+	}
+	if o.FitKind == variogram.Power && o.PowerBeta != 0 {
+		return variogram.FitPower(variogram.CloudFromSamples(xs, ys, o.dist()), o.PowerBeta, o.Nugget)
+	}
+	m, err := variogram.FitSamples(o.FitKind, xs, ys, o.dist(), o.Nugget)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Predict implements Interpolator.
+func (o *Ordinary) Predict(xs [][]float64, ys []float64, x []float64) (float64, error) {
+	v, _, err := o.PredictVar(xs, ys, x)
+	return v, err
+}
+
+// PredictVar returns both the interpolated value and the ordinary-kriging
+// variance estimate Var[λ̂ - λ] = Σ μ_k·γ_ik + m (the optimality objective
+// of Eq. 5 at its minimum), useful as a confidence signal.
+func (o *Ordinary) PredictVar(xs [][]float64, ys []float64, x []float64) (value, variance float64, err error) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 0, ErrNoSupport
+	}
+	if len(ys) != n {
+		return 0, 0, fmt.Errorf("kriging: %d coordinates but %d values", n, len(ys))
+	}
+	if n == 1 {
+		// A single support point: the unbiasedness constraint forces
+		// μ_0 = 1, so the prediction is that value.
+		return ys[0], 0, nil
+	}
+	dist := o.dist()
+	model, err := o.model(xs, ys)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	// Assemble the (n+1)×(n+1) system of Eq. 9.
+	g := linalg.NewMatrix(n+1, n+1)
+	var scale float64
+	for j := 0; j < n; j++ {
+		for k := j + 1; k < n; k++ {
+			gv := model.Gamma(dist(xs[j], xs[k]))
+			g.Set(j, k, gv)
+			g.Set(k, j, gv)
+			if gv > scale {
+				scale = gv
+			}
+		}
+	}
+	// Lagrange row/column of ones, corner zero (Eq. 9).
+	for j := 0; j < n; j++ {
+		g.Set(j, n, 1)
+		g.Set(n, j, 1)
+	}
+	// Diagonal: γ(0) = nugget; add a tiny jitter relative to the matrix
+	// scale so that duplicated supports do not make Γ singular.
+	nug := o.Nugget
+	jitter := 1e-12 * (scale + 1)
+	for j := 0; j < n; j++ {
+		g.Set(j, j, nug+jitter)
+	}
+
+	// Right-hand side γ_i of Eq. 8 augmented with the constraint 1.
+	rhs := make([]float64, n+1)
+	for k := 0; k < n; k++ {
+		rhs[k] = model.Gamma(dist(x, xs[k]))
+	}
+	rhs[n] = 1
+
+	f, err := linalg.Factorize(g)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: %v", ErrDegenerate, err)
+	}
+	// Weights μ and Lagrange multiplier m: Γ·(μ, m) = (γ_i, 1).
+	w, err := f.Solve(rhs)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: %v", ErrDegenerate, err)
+	}
+	var val, varEst float64
+	for k := 0; k < n; k++ {
+		val += w[k] * ys[k]
+		varEst += w[k] * rhs[k]
+	}
+	varEst += w[n] // + Lagrange multiplier
+	if varEst < 0 {
+		varEst = 0
+	}
+	if math.IsNaN(val) || math.IsInf(val, 0) {
+		return 0, 0, ErrDegenerate
+	}
+	return val, varEst, nil
+}
+
+// Weights exposes the kriging weights μ_k (and the Lagrange multiplier as
+// the final element) for the given query; primarily for tests asserting
+// the unbiasedness constraint Σ μ_k = 1.
+func (o *Ordinary) Weights(xs [][]float64, ys []float64, x []float64) ([]float64, error) {
+	n := len(xs)
+	if n == 0 {
+		return nil, ErrNoSupport
+	}
+	if n == 1 {
+		return []float64{1, 0}, nil
+	}
+	dist := o.dist()
+	model, err := o.model(xs, ys)
+	if err != nil {
+		return nil, err
+	}
+	g := linalg.NewMatrix(n+1, n+1)
+	var scale float64
+	for j := 0; j < n; j++ {
+		for k := j + 1; k < n; k++ {
+			gv := model.Gamma(dist(xs[j], xs[k]))
+			g.Set(j, k, gv)
+			g.Set(k, j, gv)
+			if gv > scale {
+				scale = gv
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		g.Set(j, n, 1)
+		g.Set(n, j, 1)
+		g.Set(j, j, o.Nugget+1e-12*(scale+1))
+	}
+	rhs := make([]float64, n+1)
+	for k := 0; k < n; k++ {
+		rhs[k] = model.Gamma(dist(x, xs[k]))
+	}
+	rhs[n] = 1
+	return linalg.Solve(g, rhs)
+}

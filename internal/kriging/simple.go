@@ -1,0 +1,117 @@
+package kriging
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/variogram"
+)
+
+// Simple implements simple kriging, the variant named (though not
+// detailed) by the paper's Section III-A. Simple kriging assumes a known
+// field mean m; the prediction is
+//
+//	λ̂(x) = m + Σ μ_k·(λ_k - m)
+//
+// with weights from the covariance system C·μ = c. Covariances are
+// derived from the fitted semivariogram via C(h) = sill - γ(h), taking
+// the largest observed semivariance as the sill.
+type Simple struct {
+	// Dist is the separation measure; nil means L1.
+	Dist Distance
+	// Model, when non-nil, is the semivariogram used for every query.
+	Model variogram.Model
+	// FitKind selects the per-query fit family when Model is nil.
+	FitKind variogram.Kind
+	// Mean is the assumed field mean. When KnownMean is false the
+	// support mean is used instead (the pragmatic choice when no prior
+	// mean is available).
+	Mean      float64
+	KnownMean bool
+	// Nugget regularises the covariance diagonal.
+	Nugget float64
+}
+
+// Name implements Interpolator.
+func (s *Simple) Name() string { return "simple-kriging" }
+
+func (s *Simple) dist() Distance {
+	if s.Dist != nil {
+		return s.Dist
+	}
+	return L1Distance
+}
+
+// Predict implements Interpolator.
+func (s *Simple) Predict(xs [][]float64, ys []float64, x []float64) (float64, error) {
+	n := len(xs)
+	if n == 0 {
+		return 0, ErrNoSupport
+	}
+	if len(ys) != n {
+		return 0, fmt.Errorf("kriging: %d coordinates but %d values", n, len(ys))
+	}
+	mean := s.Mean
+	if !s.KnownMean {
+		var sum float64
+		for _, y := range ys {
+			sum += y
+		}
+		mean = sum / float64(n)
+	}
+	if n == 1 {
+		return ys[0], nil
+	}
+	dist := s.dist()
+	model := s.Model
+	if model == nil {
+		m, err := variogram.FitSamples(s.FitKind, xs, ys, dist, s.Nugget)
+		if err != nil {
+			return 0, err
+		}
+		model = m
+	}
+	// Sill: the largest semivariance across support separations and the
+	// query separations, so every covariance stays non-negative.
+	var sill float64
+	for j := 0; j < n; j++ {
+		if g := model.Gamma(dist(x, xs[j])); g > sill {
+			sill = g
+		}
+		for k := j + 1; k < n; k++ {
+			if g := model.Gamma(dist(xs[j], xs[k])); g > sill {
+				sill = g
+			}
+		}
+	}
+	if sill == 0 {
+		// Flat field: every support value equals the mean.
+		return mean, nil
+	}
+	c := linalg.NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		c.Set(j, j, sill-model.Gamma(0)+1e-12*sill+s.Nugget)
+		for k := j + 1; k < n; k++ {
+			cv := sill - model.Gamma(dist(xs[j], xs[k]))
+			c.Set(j, k, cv)
+			c.Set(k, j, cv)
+		}
+	}
+	rhs := make([]float64, n)
+	for k := 0; k < n; k++ {
+		rhs[k] = sill - model.Gamma(dist(x, xs[k]))
+	}
+	w, err := linalg.Solve(c, rhs)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrDegenerate, err)
+	}
+	val := mean
+	for k := 0; k < n; k++ {
+		val += w[k] * (ys[k] - mean)
+	}
+	if math.IsNaN(val) || math.IsInf(val, 0) {
+		return 0, ErrDegenerate
+	}
+	return val, nil
+}

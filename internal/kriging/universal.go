@@ -1,0 +1,150 @@
+package kriging
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/variogram"
+)
+
+// Universal implements universal kriging (kriging with a linear drift):
+// the field is modelled as a linear trend m(x) = β₀ + Σ β_j·x_j plus a
+// stationary residual, and the kriging system is augmented with one
+// unbiasedness constraint per drift term.
+//
+// Ordinary kriging reverts to a weighted mean outside the support hull,
+// which is exactly the situation at the frontier of a min+1 phase-1
+// descent; with a linear drift the predictor extends the local trend
+// instead. The ablation benches compare the two on the recorded
+// trajectories.
+//
+// Drift terms are included per dimension only when the support actually
+// varies in that dimension (otherwise the coefficient is unidentifiable
+// and the system singular); with too few supports the predictor degrades
+// gracefully to ordinary kriging.
+type Universal struct {
+	// Dist is the separation measure; nil means L1.
+	Dist Distance
+	// Model, when non-nil, is used for every prediction.
+	Model variogram.Model
+	// FitKind selects the per-query fit family when Model is nil.
+	FitKind variogram.Kind
+	// PowerBeta overrides the power-model exponent (see Ordinary).
+	PowerBeta float64
+	// Nugget regularises the system diagonal.
+	Nugget float64
+}
+
+// Name implements Interpolator.
+func (u *Universal) Name() string { return "universal-kriging" }
+
+func (u *Universal) dist() Distance {
+	if u.Dist != nil {
+		return u.Dist
+	}
+	return L1Distance
+}
+
+// driftDims returns the dimensions along which the support varies; only
+// those get a drift coefficient.
+func driftDims(xs [][]float64, maxTerms int) []int {
+	if len(xs) == 0 {
+		return nil
+	}
+	nv := len(xs[0])
+	var dims []int
+	for d := 0; d < nv; d++ {
+		first := xs[0][d]
+		for _, x := range xs[1:] {
+			if x[d] != first {
+				dims = append(dims, d)
+				break
+			}
+		}
+		if len(dims) == maxTerms {
+			break
+		}
+	}
+	return dims
+}
+
+// Predict implements Interpolator.
+func (u *Universal) Predict(xs [][]float64, ys []float64, x []float64) (float64, error) {
+	n := len(xs)
+	if n == 0 {
+		return 0, ErrNoSupport
+	}
+	if len(ys) != n {
+		return 0, fmt.Errorf("kriging: %d coordinates but %d values", n, len(ys))
+	}
+	if n == 1 {
+		return ys[0], nil
+	}
+	dist := u.dist()
+	model := u.Model
+	if model == nil {
+		var err error
+		if u.PowerBeta != 0 {
+			model, err = variogram.FitPower(variogram.CloudFromSamples(xs, ys, dist), u.PowerBeta, u.Nugget)
+		} else {
+			model, err = variogram.FitSamples(u.FitKind, xs, ys, dist, u.Nugget)
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	// Each drift term consumes one degree of freedom; keep at least two
+	// supports' worth of residual information.
+	dims := driftDims(xs, n-2)
+	m := 1 + len(dims) // constant + identifiable linear terms
+	size := n + m
+	g := linalg.NewMatrix(size, size)
+	var scale float64
+	for j := 0; j < n; j++ {
+		for k := j + 1; k < n; k++ {
+			gv := model.Gamma(dist(xs[j], xs[k]))
+			g.Set(j, k, gv)
+			g.Set(k, j, gv)
+			if gv > scale {
+				scale = gv
+			}
+		}
+	}
+	jitter := 1e-12 * (scale + 1)
+	for j := 0; j < n; j++ {
+		g.Set(j, j, u.Nugget+jitter)
+		// Drift columns: f_0 = 1, f_i = x_dims[i-1].
+		g.Set(j, n, 1)
+		g.Set(n, j, 1)
+		for i, d := range dims {
+			g.Set(j, n+1+i, xs[j][d])
+			g.Set(n+1+i, j, xs[j][d])
+		}
+	}
+	rhs := make([]float64, size)
+	for k := 0; k < n; k++ {
+		rhs[k] = model.Gamma(dist(x, xs[k]))
+	}
+	rhs[n] = 1
+	for i, d := range dims {
+		rhs[n+1+i] = x[d]
+	}
+	w, err := linalg.Solve(g, rhs)
+	if err != nil {
+		// A degenerate drift system (e.g. supports on a line queried
+		// diagonally) falls back to ordinary kriging rather than
+		// failing the evaluation.
+		ord := &Ordinary{Dist: u.Dist, Model: model, Nugget: u.Nugget}
+		return ord.Predict(xs, ys, x)
+	}
+	var val float64
+	for k := 0; k < n; k++ {
+		val += w[k] * ys[k]
+	}
+	if math.IsNaN(val) || math.IsInf(val, 0) {
+		return 0, ErrDegenerate
+	}
+	return val, nil
+}

@@ -1,0 +1,114 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cholesky holds the lower-triangular factor L of a symmetric positive
+// definite matrix A = L·Lᵀ.
+type Cholesky struct {
+	l *Matrix
+	n int
+}
+
+// FactorizeCholesky computes the Cholesky factorisation of the symmetric
+// positive definite matrix a. Only the lower triangle of a is read.
+// It returns ErrSingular when the matrix is not positive definite.
+func FactorizeCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("%w: Cholesky of %dx%d", ErrShape, a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, fmt.Errorf("%w: non-positive diagonal at %d", ErrSingular, i)
+				}
+				l.Set(i, i, math.Sqrt(s))
+			} else {
+				l.Set(i, j, s/l.At(j, j))
+			}
+		}
+	}
+	return &Cholesky{l: l, n: n}, nil
+}
+
+// Solve solves A·x = b given the factorisation.
+func (c *Cholesky) Solve(b []float64) ([]float64, error) {
+	if len(b) != c.n {
+		return nil, fmt.Errorf("%w: rhs length %d, want %d", ErrShape, len(b), c.n)
+	}
+	n := c.n
+	// Forward: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= c.l.At(i, k) * y[k]
+		}
+		y[i] = s / c.l.At(i, i)
+	}
+	// Backward: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.l.At(k, i) * x[k]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	return x, nil
+}
+
+// L returns a copy of the lower-triangular factor.
+func (c *Cholesky) L() *Matrix { return c.l.Clone() }
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// NormInf returns the max-abs norm of v.
+func NormInf(v []float64) float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// AXPY computes y := a·x + y in place and returns y.
+func AXPY(a float64, x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic("linalg: AXPY length mismatch")
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+	return y
+}

@@ -1,0 +1,245 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randomMatrix(r *rng.Stream, n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := range m.Data {
+		m.Data[i] = r.NormScaled(0, 1)
+	}
+	return m
+}
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 {
+		t.Fatalf("shape = %dx%d", m.Rows, m.Cols)
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("new matrix not zeroed")
+		}
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Errorf("FromRows wrong layout: %v", m.Data)
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrShape) {
+		t.Errorf("ragged rows: err = %v, want ErrShape", err)
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	r := rng.New(1)
+	a := randomMatrix(r, 4)
+	id := Identity(4)
+	left, err := id.Mul(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := a.Mul(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if !almostEqual(left.Data[i], a.Data[i], 1e-12) || !almostEqual(right.Data[i], a.Data[i], 1e-12) {
+			t.Fatal("identity multiplication changed the matrix")
+		}
+	}
+}
+
+func TestMulShapeError(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := a.Mul(b); !errors.Is(err, ErrShape) {
+		t.Errorf("Mul shape error = %v, want ErrShape", err)
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("c[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	y, err := a.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 3 || y[1] != 7 {
+		t.Errorf("MulVec = %v, want [3 7]", y)
+	}
+	if _, err := a.MulVec([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Error("MulVec accepted a mis-sized vector")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("transpose shape %dx%d", at.Rows, at.Cols)
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Fatal("transpose mismatch")
+			}
+		}
+	}
+}
+
+func TestAddScale(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	s := a.Scale(2)
+	sum, err := a.Add(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Data {
+		if s.Data[i] != sum.Data[i] {
+			t.Fatal("2·A != A + A")
+		}
+	}
+	if _, err := a.Add(NewMatrix(3, 3)); !errors.Is(err, ErrShape) {
+		t.Error("Add accepted mismatched shapes")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := a.Clone()
+	b.Set(0, 0, 99)
+	if a.At(0, 0) == 99 {
+		t.Fatal("Clone shares backing storage")
+	}
+}
+
+func TestRowColCopies(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	row := a.Row(0)
+	row[0] = 99
+	if a.At(0, 0) == 99 {
+		t.Fatal("Row returned a live view")
+	}
+	col := a.Col(1)
+	if col[0] != 2 || col[1] != 4 {
+		t.Errorf("Col(1) = %v", col)
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 1}})
+	if !a.IsSymmetric(0) {
+		t.Error("symmetric matrix not detected")
+	}
+	b, _ := FromRows([][]float64{{1, 2}, {3, 1}})
+	if b.IsSymmetric(0.5) {
+		t.Error("asymmetric matrix accepted with tight tolerance")
+	}
+	if !NewMatrix(2, 3).IsSymmetric(0) == false {
+		t.Error("non-square matrix reported symmetric")
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, -7}, {3, 4}})
+	if a.MaxAbs() != 7 {
+		t.Errorf("MaxAbs = %v, want 7", a.MaxAbs())
+	}
+}
+
+func TestStringRenders(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}})
+	if a.String() == "" {
+		t.Error("String returned empty output")
+	}
+}
+
+func TestPropertyTransposeInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(6)
+		a := randomMatrix(r, n)
+		att := a.T().T()
+		for i := range a.Data {
+			if a.Data[i] != att.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMulAssociativeWithVec(t *testing.T) {
+	// (A·B)·x == A·(B·x) within numerical tolerance.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(5)
+		a := randomMatrix(r, n)
+		b := randomMatrix(r, n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormScaled(0, 1)
+		}
+		ab, err := a.Mul(b)
+		if err != nil {
+			return false
+		}
+		lhs, err := ab.MulVec(x)
+		if err != nil {
+			return false
+		}
+		bx, err := b.MulVec(x)
+		if err != nil {
+			return false
+		}
+		rhs, err := a.MulVec(bx)
+		if err != nil {
+			return false
+		}
+		for i := range lhs {
+			if !almostEqual(lhs[i], rhs[i], 1e-9*(1+math.Abs(rhs[i]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,199 @@
+// Package metrics implements the quality and accuracy metrics of the
+// paper: output noise power, its dB and equivalent-number-of-bits views,
+// the interpolation-error measures of Eqs. 11-12, and small summary
+// statistics used when reporting Table I.
+package metrics
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrEmpty is returned by aggregations over empty inputs.
+var ErrEmpty = errors.New("metrics: empty input")
+
+// NoisePower returns the mean squared difference between an approximate
+// output sequence and its reference, P = E[(ŷ - y)²]. This is the
+// accuracy metric used by the FIR, IIR, FFT and HEVC benchmarks; the
+// paper optimises λ = -P (higher is better).
+func NoisePower(approx, ref []float64) (float64, error) {
+	if len(approx) != len(ref) {
+		return 0, errors.New("metrics: sequence length mismatch")
+	}
+	if len(ref) == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for i, v := range approx {
+		d := v - ref[i]
+		s += d * d
+	}
+	return s / float64(len(ref)), nil
+}
+
+// DB converts a linear power value to decibels (10·log10). Non-positive
+// powers map to -Inf, matching the convention that an exact output has
+// unbounded accuracy.
+func DB(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(p)
+}
+
+// FromDB converts a decibel power value back to linear.
+func FromDB(db float64) float64 { return math.Pow(10, db/10) }
+
+// EquivalentBits converts a noise power into the paper's equivalent
+// number of bits n, from the uniform-quantisation noise model
+// P = 2^(-n)/12 used around Eq. 11, i.e. n = -log2(12·P).
+// Non-positive powers map to +Inf bits.
+func EquivalentBits(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return -math.Log2(12 * p)
+}
+
+// PowerFromBits is the inverse of EquivalentBits: P = 2^(-n)/12.
+func PowerFromBits(n float64) float64 {
+	return math.Exp2(-n) / 12
+}
+
+// EpsilonBits is the paper's Eq. 11: the interpolation error between an
+// estimated noise power pHat and the true power p, expressed as an
+// equivalent number of bits ε = |log2(pHat / p)|.
+//
+// When either power is non-positive the notion of "ratio in bits" breaks
+// down: the function returns +Inf unless both are non-positive (then 0).
+// Kriging weights can be negative, so a slightly negative interpolated
+// power is a real occurrence the evaluator has to tolerate.
+func EpsilonBits(pHat, p float64) float64 {
+	if pHat <= 0 && p <= 0 {
+		return 0
+	}
+	if pHat <= 0 || p <= 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(math.Log2(pHat / p))
+}
+
+// EpsilonRelative is the paper's Eq. 12: the relative difference
+// |λ̂ - λ| / |λ| between an interpolated metric value and the true one.
+// A zero true value with a non-zero estimate yields +Inf.
+func EpsilonRelative(lambdaHat, lambda float64) float64 {
+	diff := math.Abs(lambdaHat - lambda)
+	if lambda == 0 {
+		if diff == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return diff / math.Abs(lambda)
+}
+
+// Summary accumulates max / mean / count statistics over a stream of
+// non-negative error observations, ignoring NaNs (which would otherwise
+// poison a whole table row). Infinities are counted separately so the
+// harness can report how often the bit-ratio broke down.
+type Summary struct {
+	n      int
+	nInf   int
+	sum    float64
+	max    float64
+	hasAny bool
+}
+
+// Add records one observation.
+func (s *Summary) Add(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	if math.IsInf(v, 0) {
+		s.nInf++
+		return
+	}
+	s.n++
+	s.sum += v
+	if !s.hasAny || v > s.max {
+		s.max = v
+		s.hasAny = true
+	}
+}
+
+// N returns the number of finite observations recorded.
+func (s *Summary) N() int { return s.n }
+
+// InfCount returns the number of infinite observations that were set
+// aside.
+func (s *Summary) InfCount() int { return s.nInf }
+
+// Max returns the largest finite observation, or 0 when none was added.
+func (s *Summary) Max() float64 {
+	if !s.hasAny {
+		return 0
+	}
+	return s.max
+}
+
+// Mean returns the mean of the finite observations, or 0 when none was
+// added.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs)), nil
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	var s float64
+	for _, v := range xs {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(xs)), nil
+}
+
+// RMSE returns the root-mean-square error between two sequences.
+func RMSE(a, b []float64) (float64, error) {
+	p, err := NoisePower(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(p), nil
+}
+
+// SNR returns the signal-to-noise ratio in dB between a reference signal
+// and its approximation: 10·log10(P_signal / P_noise).
+func SNR(approx, ref []float64) (float64, error) {
+	noise, err := NoisePower(approx, ref)
+	if err != nil {
+		return 0, err
+	}
+	var sig float64
+	for _, v := range ref {
+		sig += v * v
+	}
+	sig /= float64(len(ref))
+	if noise == 0 {
+		return math.Inf(1), nil
+	}
+	return 10 * math.Log10(sig/noise), nil
+}

@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// InjectorKind selects the error model applied at the layer outputs.
+// Approximate-computing error sources differ in character: data-level
+// approximations (word-length reduction) produce small dense uniform
+// noise; arithmetic approximation produces dense Gaussian-ish noise;
+// voltage overscaling produces rare large timing faults. The sensitivity
+// benchmark can budget any of them — the kriging evaluator does not care,
+// which is the point of the paper's genericity claim.
+type InjectorKind int
+
+// Supported error models.
+const (
+	// GaussianNoise adds dense zero-mean Gaussian noise of the
+	// configured power (the default model, matching additive noise
+	// sources of fixed-point rounding at many internal nodes).
+	GaussianNoise InjectorKind = iota
+	// UniformNoise adds dense zero-mean uniform noise of the configured
+	// power (the single-quantiser model: P = Δ²/12 ⇒ Δ = √(12P)).
+	UniformNoise
+	// TimingFaults replaces activations with a large deviation at a
+	// rate chosen so the average injected power matches the configured
+	// power — the rare-but-large error shape of voltage overscaling.
+	TimingFaults
+)
+
+// String returns the model name.
+func (k InjectorKind) String() string {
+	switch k {
+	case GaussianNoise:
+		return "gaussian"
+	case UniformNoise:
+		return "uniform"
+	case TimingFaults:
+		return "timing"
+	default:
+		return fmt.Sprintf("InjectorKind(%d)", int(k))
+	}
+}
+
+// ParseInjectorKind converts a model name to its kind.
+func ParseInjectorKind(s string) (InjectorKind, error) {
+	switch s {
+	case "gaussian":
+		return GaussianNoise, nil
+	case "uniform":
+		return UniformNoise, nil
+	case "timing":
+		return TimingFaults, nil
+	default:
+		return 0, fmt.Errorf("nn: unknown injector kind %q", s)
+	}
+}
+
+// faultMagnitude is the deviation magnitude of a timing fault, chosen on
+// the order of typical post-ReLU activation ranges so that a single fault
+// visibly perturbs the feature map.
+const faultMagnitude = 4.0
+
+// ModelInjector injects errors of the selected kind with per-layer power
+// Power[li]; zero disables a layer. The random stream must be reseeded
+// per image (see SensitivityBenchmark.Evaluate) to keep evaluations
+// deterministic.
+type ModelInjector struct {
+	Kind  InjectorKind
+	Power [NumLayers]float64
+	r     *rng.Stream
+}
+
+// Inject implements Injector.
+func (m *ModelInjector) Inject(li int, t *Tensor) {
+	p := m.Power[li]
+	if p == 0 {
+		return
+	}
+	switch m.Kind {
+	case GaussianNoise:
+		sigma := math.Sqrt(p)
+		for i := range t.Data {
+			t.Data[i] += sigma * m.r.Norm()
+		}
+	case UniformNoise:
+		delta := math.Sqrt(12 * p) // uniform on [-Δ/2, Δ/2] has power Δ²/12
+		for i := range t.Data {
+			t.Data[i] += delta * (m.r.Float64() - 0.5)
+		}
+	case TimingFaults:
+		// Each fault contributes ~faultMagnitude² of squared error;
+		// match the average power via the fault rate.
+		rate := p / (faultMagnitude * faultMagnitude)
+		if rate > 1 {
+			rate = 1
+		}
+		for i := range t.Data {
+			if m.r.Float64() < rate {
+				if m.r.Float64() < 0.5 {
+					t.Data[i] += faultMagnitude
+				} else {
+					t.Data[i] -= faultMagnitude
+				}
+			}
+		}
+	default:
+		panic("nn: unknown injector kind")
+	}
+}

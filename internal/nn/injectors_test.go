@@ -1,0 +1,134 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/space"
+)
+
+func measureInjectedPower(t *testing.T, kind InjectorKind, p float64) float64 {
+	t.Helper()
+	inj := &ModelInjector{Kind: kind, r: rng.New(7)}
+	inj.Power[2] = p
+	var sum float64
+	n := 0
+	// Average over repeated injections: the timing-fault model only
+	// matches the target power in expectation (rare large events).
+	for rep := 0; rep < 50; rep++ {
+		x := NewTensor(4, 16, 16)
+		inj.Inject(2, x)
+		for _, v := range x.Data {
+			sum += v * v
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+func TestInjectorPowerCalibration(t *testing.T) {
+	// Every model must inject (on average) the configured power.
+	const p = 0.01
+	for _, kind := range []InjectorKind{GaussianNoise, UniformNoise, TimingFaults} {
+		got := measureInjectedPower(t, kind, p)
+		if got < p/2 || got > p*2 {
+			t.Errorf("%s: injected power %v, want ~%v", kind, got, p)
+		}
+	}
+}
+
+func TestInjectorZeroPowerIsNoOp(t *testing.T) {
+	for _, kind := range []InjectorKind{GaussianNoise, UniformNoise, TimingFaults} {
+		inj := &ModelInjector{Kind: kind, r: rng.New(1)}
+		x := NewTensor(1, 4, 4)
+		inj.Inject(0, x)
+		for _, v := range x.Data {
+			if v != 0 {
+				t.Errorf("%s: zero-power injection changed values", kind)
+			}
+		}
+	}
+}
+
+func TestTimingFaultsAreSparse(t *testing.T) {
+	// At low power, timing faults must touch few elements but with large
+	// magnitude — the opposite texture of Gaussian noise.
+	inj := &ModelInjector{Kind: TimingFaults, r: rng.New(3)}
+	inj.Power[0] = 0.05 // rate 0.05/16 ≈ 0.3% of elements
+	x := NewTensor(8, 16, 16)
+	inj.Inject(0, x)
+	touched := 0
+	for _, v := range x.Data {
+		if v != 0 {
+			touched++
+			if math.Abs(v) != faultMagnitude {
+				t.Fatalf("fault magnitude %v, want ±%v", v, faultMagnitude)
+			}
+		}
+	}
+	frac := float64(touched) / float64(len(x.Data))
+	if frac > 0.02 {
+		t.Errorf("fault rate %v too dense for power 0.05", frac)
+	}
+	if touched == 0 {
+		t.Error("no faults injected at all")
+	}
+}
+
+func TestInjectorKindStringsAndParse(t *testing.T) {
+	for _, k := range []InjectorKind{GaussianNoise, UniformNoise, TimingFaults} {
+		got, err := ParseInjectorKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseInjectorKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseInjectorKind("cosmic-rays"); err == nil {
+		t.Error("unknown kind parsed")
+	}
+}
+
+func TestSensitivityBenchmarkWithUniformModel(t *testing.T) {
+	b, err := NewSensitivityBenchmark(1, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Kind = UniformNoise
+	quiet := make(space.Config, NumLayers)
+	p, err := b.Evaluate(quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.99 {
+		t.Errorf("quiet uniform-model agreement %v", p)
+	}
+	loud := b.Bounds().Corner(true)
+	pl, err := b.Evaluate(loud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl >= p {
+		t.Errorf("loud uniform-model agreement %v not below quiet %v", pl, p)
+	}
+}
+
+func TestSensitivityBenchmarkWithTimingModel(t *testing.T) {
+	b, err := NewSensitivityBenchmark(2, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Kind = TimingFaults
+	loud := b.Bounds().Corner(true)
+	pl, err := b.Evaluate(loud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl > 0.95 {
+		t.Errorf("loud timing-model agreement %v: faults too weak", pl)
+	}
+	// Determinism across repeated evaluations.
+	pl2, err := b.Evaluate(loud)
+	if err != nil || pl2 != pl {
+		t.Errorf("timing model not deterministic: %v vs %v (err %v)", pl, pl2, err)
+	}
+}

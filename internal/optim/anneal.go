@@ -1,0 +1,146 @@
+package optim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/space"
+)
+
+// AnnealOptions parameterises the simulated-annealing solver for the DSE
+// problem of Eq. 1. Annealing explores the hypercube globally, unlike the
+// greedy min+1 / max-1 walks, at the price of many more metric
+// evaluations — which is precisely the regime where the kriging evaluator
+// pays off, so the two compose naturally.
+//
+// The objective is the penalised cost C(e) + Penalty·max(0, λmin - λ(e)):
+// infeasible states are admitted during the walk but priced, and only
+// feasible states are eligible as the incumbent.
+type AnnealOptions struct {
+	LambdaMin float64
+	Bounds    space.Bounds
+	// Cost is the objective; nil selects TotalBits.
+	Cost CostFunc
+	// Penalty prices constraint violation; zero selects 1000.
+	Penalty float64
+	// Steps is the annealing length; zero selects 200·Nv.
+	Steps int
+	// TStart and TEnd bound the geometric temperature schedule; zeros
+	// select 5 and 0.01 (in cost units).
+	TStart, TEnd float64
+	// Seed drives the walk.
+	Seed uint64
+}
+
+// AnnealResult reports the annealing outcome.
+type AnnealResult struct {
+	Best        space.Config
+	Lambda      float64
+	Cost        float64
+	Evaluations int
+	Accepted    int
+}
+
+// Anneal runs simulated annealing and returns the best feasible
+// configuration found. It errors when no feasible state was ever visited.
+func Anneal(oracle Oracle, opts AnnealOptions) (AnnealResult, error) {
+	if err := opts.Bounds.Validate(); err != nil {
+		return AnnealResult{}, err
+	}
+	nv := opts.Bounds.Dim()
+	if nv == 0 {
+		return AnnealResult{}, errors.New("optim: zero-dimensional bounds")
+	}
+	cost := opts.Cost
+	if cost == nil {
+		cost = TotalBits
+	}
+	penalty := opts.Penalty
+	if penalty == 0 {
+		penalty = 1000
+	}
+	steps := opts.Steps
+	if steps == 0 {
+		steps = 200 * nv
+	}
+	tStart, tEnd := opts.TStart, opts.TEnd
+	if tStart == 0 {
+		tStart = 5
+	}
+	if tEnd == 0 {
+		tEnd = 0.01
+	}
+	if tEnd > tStart {
+		return AnnealResult{}, fmt.Errorf("optim: TEnd %v above TStart %v", tEnd, tStart)
+	}
+	r := rng.NewNamed(opts.Seed, "anneal")
+
+	res := AnnealResult{}
+	energy := func(c space.Config) (float64, float64, error) {
+		lam, err := oracle.Evaluate(c)
+		if err != nil {
+			return 0, 0, err
+		}
+		res.Evaluations++
+		e := cost(c)
+		if lam < opts.LambdaMin {
+			e += penalty * (1 + opts.LambdaMin - lam)
+		}
+		return e, lam, nil
+	}
+
+	// Start from the high corner: feasible whenever the problem is.
+	cur := opts.Bounds.Corner(true)
+	curE, curLam, err := energy(cur)
+	if err != nil {
+		return res, fmt.Errorf("optim: annealing seed: %w", err)
+	}
+	bestFeasible := false
+	consider := func(c space.Config, lam float64) {
+		if lam < opts.LambdaMin {
+			return
+		}
+		cc := cost(c)
+		if !bestFeasible || cc < res.Cost {
+			res.Best = c.Clone()
+			res.Lambda = lam
+			res.Cost = cc
+			bestFeasible = true
+		}
+	}
+	consider(cur, curLam)
+
+	decay := math.Pow(tEnd/tStart, 1/float64(steps))
+	temp := tStart
+	for step := 0; step < steps; step++ {
+		// Propose: perturb one variable by ±1 (occasionally ±2 to jump
+		// over unit-wide barriers).
+		dim := r.Intn(nv)
+		delta := 1 + r.Intn(2)
+		if r.Float64() < 0.5 {
+			delta = -delta
+		}
+		cand := cur.With(dim, cur[dim]+delta)
+		if !opts.Bounds.Contains(cand) {
+			temp *= decay
+			continue
+		}
+		candE, candLam, err := energy(cand)
+		if err != nil {
+			return res, fmt.Errorf("optim: annealing evaluation of %v: %w", cand, err)
+		}
+		consider(cand, candLam)
+		if candE <= curE || r.Float64() < math.Exp((curE-candE)/temp) {
+			cur, curE, curLam = cand, candE, candLam
+			res.Accepted++
+			_ = curLam
+		}
+		temp *= decay
+	}
+	if !bestFeasible {
+		return res, ErrInfeasible
+	}
+	return res, nil
+}

@@ -1,0 +1,104 @@
+package optim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/space"
+)
+
+func TestAnnealFindsFeasibleLowCost(t *testing.T) {
+	oracle := additiveNoiseOracle([]float64{1, 1})
+	opts := AnnealOptions{
+		LambdaMin: -1e-3,
+		Bounds:    space.UniformBounds(2, 1, 12),
+		Seed:      1,
+	}
+	res, err := Anneal(oracle, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lambda < opts.LambdaMin {
+		t.Errorf("result λ = %v violates constraint", res.Lambda)
+	}
+	ex, err := Exhaustive(oracle, ExhaustiveOptions{LambdaMin: opts.LambdaMin, Bounds: opts.Bounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > ex.Cost+3 {
+		t.Errorf("annealed cost %v far above optimum %v", res.Cost, ex.Cost)
+	}
+	if res.Evaluations == 0 || res.Accepted == 0 {
+		t.Error("annealing did not move")
+	}
+}
+
+func TestAnnealDeterministicPerSeed(t *testing.T) {
+	oracle := additiveNoiseOracle([]float64{1, 2, 0.5})
+	opts := AnnealOptions{
+		LambdaMin: -1e-3,
+		Bounds:    space.UniformBounds(3, 1, 12),
+		Seed:      7,
+	}
+	a, err := Anneal(oracle, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Anneal(oracle, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Best.Equal(b.Best) || a.Evaluations != b.Evaluations {
+		t.Errorf("same seed diverged: %v vs %v", a.Best, b.Best)
+	}
+}
+
+func TestAnnealInfeasible(t *testing.T) {
+	oracle := OracleFunc(func(space.Config) (float64, error) { return -1, nil })
+	if _, err := Anneal(oracle, AnnealOptions{
+		LambdaMin: 0,
+		Bounds:    space.UniformBounds(2, 1, 4),
+		Seed:      1,
+	}); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAnnealValidation(t *testing.T) {
+	oracle := additiveNoiseOracle([]float64{1})
+	if _, err := Anneal(oracle, AnnealOptions{Bounds: space.Bounds{}}); err == nil {
+		t.Error("zero-dim bounds accepted")
+	}
+	if _, err := Anneal(oracle, AnnealOptions{
+		Bounds: space.UniformBounds(1, 1, 4),
+		TStart: 1, TEnd: 10,
+	}); err == nil {
+		t.Error("inverted temperature schedule accepted")
+	}
+}
+
+func TestAnnealVsGreedyOnCoupledField(t *testing.T) {
+	// A non-separable field with a shallow coupling term; both solvers
+	// must return feasible configurations of comparable cost.
+	oracle := OracleFunc(func(c space.Config) (float64, error) {
+		p := 0.0
+		for _, w := range c {
+			p += math.Exp2(-2 * float64(w))
+		}
+		p += 0.5 * math.Exp2(-float64(c[0])-float64(c[1]))
+		return -p, nil
+	})
+	bounds := space.UniformBounds(2, 1, 14)
+	g, err := MinPlusOne(oracle, MinPlusOneOptions{LambdaMin: -1e-3, Bounds: bounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Anneal(oracle, AnnealOptions{LambdaMin: -1e-3, Bounds: bounds, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost > TotalBits(g.WRes)+3 {
+		t.Errorf("anneal cost %v much worse than greedy %v", a.Cost, TotalBits(g.WRes))
+	}
+}

@@ -1,0 +1,101 @@
+package optim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/space"
+)
+
+// NoiseBudgetOptions parameterises the steepest-descent noise-budgeting
+// algorithm of the error-sensitivity benchmark (paper §IV, SqueezeNet;
+// algorithm after Parashar et al. [22]).
+//
+// A configuration assigns each error source an integer power index; a
+// larger index means a more powerful injected error (cheaper hardware).
+// The optimiser maximises the total injected error subject to the quality
+// constraint λ(e) >= LambdaMin.
+type NoiseBudgetOptions struct {
+	// LambdaMin is the quality constraint (e.g. a minimum classification
+	// agreement probability).
+	LambdaMin float64
+	// Bounds gives the index range of each error source; Lo is the
+	// quietest (starting) level, Hi the loudest allowed.
+	Bounds space.Bounds
+	// MaxIterations caps the greedy loop; zero selects a default
+	// proportional to the total index range.
+	MaxIterations int
+}
+
+// NoiseBudgetResult reports the budgeting outcome.
+type NoiseBudgetResult struct {
+	// E is the final error-source configuration: the loudest vector
+	// still satisfying the constraint.
+	E space.Config
+	// Lambda is λ(E).
+	Lambda float64
+	// Evaluations counts oracle calls.
+	Evaluations int
+	// Steps counts committed increments.
+	Steps int
+}
+
+// NoiseBudget runs the steepest-descent budgeting loop: starting from the
+// quietest configuration, repeatedly try incrementing each source by one
+// step, commit the increment that keeps the highest quality, and stop
+// when every possible increment would violate the constraint.
+func NoiseBudget(oracle Oracle, opts NoiseBudgetOptions) (NoiseBudgetResult, error) {
+	if err := opts.Bounds.Validate(); err != nil {
+		return NoiseBudgetResult{}, err
+	}
+	nv := opts.Bounds.Dim()
+	if nv == 0 {
+		return NoiseBudgetResult{}, errors.New("optim: zero-dimensional bounds")
+	}
+	res := NoiseBudgetResult{}
+	e := opts.Bounds.Corner(false) // quietest
+
+	lam, err := oracle.Evaluate(e)
+	res.Evaluations++
+	if err != nil {
+		return res, fmt.Errorf("optim: budgeting seed evaluation: %w", err)
+	}
+	if lam < opts.LambdaMin {
+		return res, fmt.Errorf("%w: quietest configuration already violates the constraint (λ=%v < %v)",
+			ErrInfeasible, lam, opts.LambdaMin)
+	}
+	maxIter := opts.MaxIterations
+	if maxIter == 0 {
+		for i := 0; i < nv; i++ {
+			maxIter += opts.Bounds.Hi[i] - opts.Bounds.Lo[i]
+		}
+		maxIter++
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		bestVar := -1
+		bestLam := 0.0
+		for i := 0; i < nv; i++ {
+			if e[i] >= opts.Bounds.Hi[i] {
+				continue
+			}
+			cand := e.With(i, e[i]+1)
+			li, err := oracle.Evaluate(cand)
+			res.Evaluations++
+			if err != nil {
+				return res, fmt.Errorf("optim: budgeting evaluation of %v: %w", cand, err)
+			}
+			if li >= opts.LambdaMin && (bestVar == -1 || li > bestLam) {
+				bestVar, bestLam = i, li
+			}
+		}
+		if bestVar == -1 {
+			break // no admissible increment remains
+		}
+		e = e.With(bestVar, e[bestVar]+1)
+		lam = bestLam
+		res.Steps++
+	}
+	res.E = e
+	res.Lambda = lam
+	return res, nil
+}

@@ -1,0 +1,91 @@
+package optim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/space"
+)
+
+// CostFunc scores the implementation cost C(e) of a configuration; the
+// DSE problem of Eq. 1 minimises it subject to λ(e) >= λmin. For
+// word-length problems the natural cost is the total number of bits.
+type CostFunc func(cfg space.Config) float64
+
+// TotalBits is the default cost: the sum of all word-lengths.
+func TotalBits(cfg space.Config) float64 {
+	s := 0
+	for _, v := range cfg {
+		s += v
+	}
+	return float64(s)
+}
+
+// ExhaustiveOptions parameterises the brute-force reference solver.
+type ExhaustiveOptions struct {
+	LambdaMin float64
+	Bounds    space.Bounds
+	Cost      CostFunc // nil selects TotalBits
+	// MaxConfigs aborts the search if the lattice is larger than this
+	// (guarding against accidentally enumerating a 23-dimensional cube).
+	// Zero selects 1<<22.
+	MaxConfigs int
+}
+
+// ExhaustiveResult reports the brute-force optimum.
+type ExhaustiveResult struct {
+	Best        space.Config
+	Lambda      float64
+	Cost        float64
+	Evaluations int
+}
+
+// Exhaustive enumerates the whole bounded lattice and returns the
+// feasible configuration of minimum cost, the ground truth the
+// integration tests compare the greedy optimisers against on small
+// spaces.
+func Exhaustive(oracle Oracle, opts ExhaustiveOptions) (ExhaustiveResult, error) {
+	if err := opts.Bounds.Validate(); err != nil {
+		return ExhaustiveResult{}, err
+	}
+	cost := opts.Cost
+	if cost == nil {
+		cost = TotalBits
+	}
+	limit := opts.MaxConfigs
+	if limit == 0 {
+		limit = 1 << 22
+	}
+	if opts.Bounds.Size() > limit {
+		return ExhaustiveResult{}, fmt.Errorf("optim: search space of %d configurations exceeds limit %d",
+			opts.Bounds.Size(), limit)
+	}
+	res := ExhaustiveResult{}
+	var evalErr error
+	found := false
+	opts.Bounds.Enumerate(func(c space.Config) bool {
+		lam, err := oracle.Evaluate(c)
+		res.Evaluations++
+		if err != nil {
+			evalErr = fmt.Errorf("optim: exhaustive evaluation of %v: %w", c, err)
+			return false
+		}
+		if lam >= opts.LambdaMin {
+			cc := cost(c)
+			if !found || cc < res.Cost {
+				res.Best = c.Clone()
+				res.Lambda = lam
+				res.Cost = cc
+				found = true
+			}
+		}
+		return true
+	})
+	if evalErr != nil {
+		return res, evalErr
+	}
+	if !found {
+		return res, errors.New("optim: exhaustive search found no feasible configuration")
+	}
+	return res, nil
+}

@@ -1,0 +1,185 @@
+package optim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/space"
+)
+
+// GeneticOptions parameterises the genetic-algorithm solver for the DSE
+// problem of Eq. 1, the other classical metaheuristic used for
+// word-length optimisation. Like Anneal it consumes many metric
+// evaluations and therefore profits directly from the kriging evaluator.
+type GeneticOptions struct {
+	LambdaMin float64
+	Bounds    space.Bounds
+	// Cost is the objective; nil selects TotalBits.
+	Cost CostFunc
+	// Penalty prices constraint violation in the fitness; zero selects
+	// 1000.
+	Penalty float64
+	// Population is the population size; zero selects 4·Nv (at least 8).
+	Population int
+	// Generations is the evolution length; zero selects 40.
+	Generations int
+	// MutationRate is the per-gene ±1 mutation probability; zero
+	// selects 0.2.
+	MutationRate float64
+	// Elite is the number of top individuals copied unchanged; zero
+	// selects 2.
+	Elite int
+	// Seed drives the evolution.
+	Seed uint64
+}
+
+// GeneticResult reports the evolution outcome.
+type GeneticResult struct {
+	Best        space.Config
+	Lambda      float64
+	Cost        float64
+	Evaluations int
+	Generations int
+}
+
+type individual struct {
+	genome  space.Config
+	fitness float64 // lower is better (penalised cost)
+	lambda  float64
+}
+
+// Genetic runs the genetic algorithm and returns the best feasible
+// configuration found across all generations.
+func Genetic(oracle Oracle, opts GeneticOptions) (GeneticResult, error) {
+	if err := opts.Bounds.Validate(); err != nil {
+		return GeneticResult{}, err
+	}
+	nv := opts.Bounds.Dim()
+	if nv == 0 {
+		return GeneticResult{}, errors.New("optim: zero-dimensional bounds")
+	}
+	cost := opts.Cost
+	if cost == nil {
+		cost = TotalBits
+	}
+	penalty := opts.Penalty
+	if penalty == 0 {
+		penalty = 1000
+	}
+	pop := opts.Population
+	if pop == 0 {
+		pop = 4 * nv
+		if pop < 8 {
+			pop = 8
+		}
+	}
+	gens := opts.Generations
+	if gens == 0 {
+		gens = 40
+	}
+	mut := opts.MutationRate
+	if mut == 0 {
+		mut = 0.2
+	}
+	elite := opts.Elite
+	if elite == 0 {
+		elite = 2
+	}
+	if elite >= pop {
+		return GeneticResult{}, fmt.Errorf("optim: elite %d must be below population %d", elite, pop)
+	}
+	r := rng.NewNamed(opts.Seed, "genetic")
+
+	res := GeneticResult{}
+	bestFeasible := false
+	evaluate := func(g space.Config) (individual, error) {
+		lam, err := oracle.Evaluate(g)
+		if err != nil {
+			return individual{}, err
+		}
+		res.Evaluations++
+		fit := cost(g)
+		if lam < opts.LambdaMin {
+			fit += penalty * (1 + opts.LambdaMin - lam)
+		} else if !bestFeasible || cost(g) < res.Cost {
+			res.Best = g.Clone()
+			res.Lambda = lam
+			res.Cost = cost(g)
+			bestFeasible = true
+		}
+		return individual{genome: g, fitness: fit, lambda: lam}, nil
+	}
+
+	// Initial population: the always-feasible high corner plus random
+	// lattice points.
+	cur := make([]individual, 0, pop)
+	seedInd, err := evaluate(opts.Bounds.Corner(true))
+	if err != nil {
+		return res, fmt.Errorf("optim: GA seed: %w", err)
+	}
+	cur = append(cur, seedInd)
+	for len(cur) < pop {
+		g := make(space.Config, nv)
+		for d := 0; d < nv; d++ {
+			g[d] = r.IntRange(opts.Bounds.Lo[d], opts.Bounds.Hi[d])
+		}
+		ind, err := evaluate(g)
+		if err != nil {
+			return res, err
+		}
+		cur = append(cur, ind)
+	}
+
+	tournament := func() individual {
+		a := cur[r.Intn(len(cur))]
+		b := cur[r.Intn(len(cur))]
+		if a.fitness <= b.fitness {
+			return a
+		}
+		return b
+	}
+	for gen := 0; gen < gens; gen++ {
+		res.Generations = gen + 1
+		sort.SliceStable(cur, func(i, j int) bool { return cur[i].fitness < cur[j].fitness })
+		next := make([]individual, 0, pop)
+		next = append(next, cur[:elite]...)
+		for len(next) < pop {
+			p1, p2 := tournament(), tournament()
+			child := make(space.Config, nv)
+			for d := 0; d < nv; d++ {
+				// Uniform crossover.
+				if r.Float64() < 0.5 {
+					child[d] = p1.genome[d]
+				} else {
+					child[d] = p2.genome[d]
+				}
+				// ±1 mutation, clamped into bounds.
+				if r.Float64() < mut {
+					if r.Float64() < 0.5 {
+						child[d]++
+					} else {
+						child[d]--
+					}
+					if child[d] < opts.Bounds.Lo[d] {
+						child[d] = opts.Bounds.Lo[d]
+					}
+					if child[d] > opts.Bounds.Hi[d] {
+						child[d] = opts.Bounds.Hi[d]
+					}
+				}
+			}
+			ind, err := evaluate(child)
+			if err != nil {
+				return res, err
+			}
+			next = append(next, ind)
+		}
+		cur = next
+	}
+	if !bestFeasible {
+		return res, ErrInfeasible
+	}
+	return res, nil
+}

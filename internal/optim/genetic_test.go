@@ -1,0 +1,96 @@
+package optim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/space"
+)
+
+func TestGeneticFindsFeasibleLowCost(t *testing.T) {
+	oracle := additiveNoiseOracle([]float64{1, 1})
+	opts := GeneticOptions{
+		LambdaMin: -1e-3,
+		Bounds:    space.UniformBounds(2, 1, 12),
+		Seed:      1,
+	}
+	res, err := Genetic(oracle, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lambda < opts.LambdaMin {
+		t.Errorf("result λ = %v violates constraint", res.Lambda)
+	}
+	ex, err := Exhaustive(oracle, ExhaustiveOptions{LambdaMin: opts.LambdaMin, Bounds: opts.Bounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > ex.Cost+3 {
+		t.Errorf("GA cost %v far above optimum %v", res.Cost, ex.Cost)
+	}
+}
+
+func TestGeneticDeterministicPerSeed(t *testing.T) {
+	oracle := additiveNoiseOracle([]float64{1, 2})
+	opts := GeneticOptions{
+		LambdaMin:   -1e-3,
+		Bounds:      space.UniformBounds(2, 1, 12),
+		Generations: 10,
+		Seed:        5,
+	}
+	a, err := Genetic(oracle, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Genetic(oracle, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Best.Equal(b.Best) || a.Evaluations != b.Evaluations {
+		t.Errorf("same seed diverged: %v vs %v", a.Best, b.Best)
+	}
+}
+
+func TestGeneticInfeasible(t *testing.T) {
+	oracle := OracleFunc(func(space.Config) (float64, error) { return -1, nil })
+	if _, err := Genetic(oracle, GeneticOptions{
+		LambdaMin:   0,
+		Bounds:      space.UniformBounds(2, 1, 4),
+		Generations: 3,
+		Seed:        1,
+	}); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestGeneticValidation(t *testing.T) {
+	oracle := additiveNoiseOracle([]float64{1})
+	if _, err := Genetic(oracle, GeneticOptions{Bounds: space.Bounds{}}); err == nil {
+		t.Error("zero-dim bounds accepted")
+	}
+	if _, err := Genetic(oracle, GeneticOptions{
+		Bounds:     space.UniformBounds(1, 1, 4),
+		Population: 4,
+		Elite:      4,
+	}); err == nil {
+		t.Error("elite >= population accepted")
+	}
+}
+
+func TestGeneticRespectsBounds(t *testing.T) {
+	bounds := space.UniformBounds(3, 2, 9)
+	oracle := OracleFunc(func(c space.Config) (float64, error) {
+		if !bounds.Contains(c) {
+			t.Fatalf("GA evaluated out-of-bounds config %v", c)
+		}
+		return 1, nil
+	})
+	if _, err := Genetic(oracle, GeneticOptions{
+		LambdaMin:   0,
+		Bounds:      bounds,
+		Generations: 5,
+		Seed:        2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,204 @@
+package optim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/space"
+)
+
+// MaxMinusOneOptions parameterises the max-1 bit descent, the classical
+// counterpart of min+1 (Cantin et al. [15] catalogue both): start from
+// the all-Nmax configuration — which must satisfy the constraint — and
+// repeatedly remove one bit from the variable whose decrement hurts the
+// metric least, while the constraint still holds.
+type MaxMinusOneOptions struct {
+	// LambdaMin is the accuracy constraint λ(w) >= LambdaMin.
+	LambdaMin float64
+	// Bounds is the word-length box.
+	Bounds space.Bounds
+	// MaxIterations caps the descent; zero derives a default from the
+	// box diameter.
+	MaxIterations int
+}
+
+// MaxMinusOneResult reports the descent outcome.
+type MaxMinusOneResult struct {
+	WRes        space.Config
+	Lambda      float64
+	Evaluations int
+	Steps       int
+}
+
+// MaxMinusOne runs the max-1 bit descent.
+func MaxMinusOne(oracle Oracle, opts MaxMinusOneOptions) (MaxMinusOneResult, error) {
+	if err := opts.Bounds.Validate(); err != nil {
+		return MaxMinusOneResult{}, err
+	}
+	nv := opts.Bounds.Dim()
+	if nv == 0 {
+		return MaxMinusOneResult{}, errors.New("optim: zero-dimensional bounds")
+	}
+	res := MaxMinusOneResult{}
+	w := opts.Bounds.Corner(true)
+	lam, err := oracle.Evaluate(w)
+	res.Evaluations++
+	if err != nil {
+		return res, fmt.Errorf("optim: max-1 seed evaluation: %w", err)
+	}
+	if lam < opts.LambdaMin {
+		return res, fmt.Errorf("%w: all-Nmax configuration violates the constraint (λ=%v < %v)",
+			ErrInfeasible, lam, opts.LambdaMin)
+	}
+	maxIter := opts.MaxIterations
+	if maxIter == 0 {
+		for i := 0; i < nv; i++ {
+			maxIter += opts.Bounds.Hi[i] - opts.Bounds.Lo[i]
+		}
+		maxIter++
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		bestVar := -1
+		bestLam := 0.0
+		for i := 0; i < nv; i++ {
+			if w[i] <= opts.Bounds.Lo[i] {
+				continue
+			}
+			cand := w.With(i, w[i]-1)
+			li, err := oracle.Evaluate(cand)
+			res.Evaluations++
+			if err != nil {
+				return res, fmt.Errorf("optim: max-1 evaluation of %v: %w", cand, err)
+			}
+			if li >= opts.LambdaMin && (bestVar == -1 || li > bestLam) {
+				bestVar, bestLam = i, li
+			}
+		}
+		if bestVar == -1 {
+			break // no admissible decrement remains
+		}
+		w = w.With(bestVar, w[bestVar]-1)
+		lam = bestLam
+		res.Steps++
+	}
+	res.WRes = w
+	res.Lambda = lam
+	return res, nil
+}
+
+// LocalSearchOptions parameterises the ±1 neighbourhood refinement that
+// word-length optimisers commonly run after a greedy phase: try every
+// single-variable perturbation within Radius of the incumbent, and any
+// exchange of one bit between two variables, accepting moves that keep
+// the constraint and lower the cost.
+type LocalSearchOptions struct {
+	LambdaMin float64
+	Bounds    space.Bounds
+	// Cost is the objective to reduce; nil selects TotalBits.
+	Cost CostFunc
+	// Radius is the per-variable perturbation range (default 1).
+	Radius int
+	// MaxIterations caps the improvement loop; zero selects 100.
+	MaxIterations int
+}
+
+// LocalSearchResult reports the refinement outcome.
+type LocalSearchResult struct {
+	W           space.Config
+	Lambda      float64
+	Cost        float64
+	Improved    bool
+	Evaluations int
+}
+
+// LocalSearch refines a feasible incumbent configuration in place.
+func LocalSearch(oracle Oracle, start space.Config, opts LocalSearchOptions) (LocalSearchResult, error) {
+	if err := opts.Bounds.Validate(); err != nil {
+		return LocalSearchResult{}, err
+	}
+	if !opts.Bounds.Contains(start) {
+		return LocalSearchResult{}, fmt.Errorf("optim: start %v outside bounds", start)
+	}
+	cost := opts.Cost
+	if cost == nil {
+		cost = TotalBits
+	}
+	radius := opts.Radius
+	if radius <= 0 {
+		radius = 1
+	}
+	maxIter := opts.MaxIterations
+	if maxIter == 0 {
+		maxIter = 100
+	}
+	res := LocalSearchResult{W: start.Clone()}
+	lam, err := oracle.Evaluate(res.W)
+	res.Evaluations++
+	if err != nil {
+		return res, fmt.Errorf("optim: local-search seed evaluation: %w", err)
+	}
+	if lam < opts.LambdaMin {
+		return res, fmt.Errorf("%w: local search requires a feasible start (λ=%v < %v)",
+			ErrInfeasible, lam, opts.LambdaMin)
+	}
+	res.Lambda = lam
+	res.Cost = cost(res.W)
+
+	nv := opts.Bounds.Dim()
+	try := func(cand space.Config) (bool, error) {
+		if !opts.Bounds.Contains(cand) {
+			return false, nil
+		}
+		cc := cost(cand)
+		if cc >= res.Cost {
+			return false, nil
+		}
+		li, err := oracle.Evaluate(cand)
+		res.Evaluations++
+		if err != nil {
+			return false, err
+		}
+		if li < opts.LambdaMin {
+			return false, nil
+		}
+		res.W = cand.Clone()
+		res.Lambda = li
+		res.Cost = cc
+		res.Improved = true
+		return true, nil
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		moved := false
+		// Single-variable decrements (the cost-reducing direction).
+		for i := 0; i < nv && !moved; i++ {
+			for r := 1; r <= radius && !moved; r++ {
+				ok, err := try(res.W.With(i, res.W[i]-r))
+				if err != nil {
+					return res, err
+				}
+				moved = ok
+			}
+		}
+		// One-bit exchanges: move a bit from variable i to variable j.
+		// Cost-neutral under TotalBits, so they only fire with a custom
+		// cost; still checked because they can unlock later decrements.
+		for i := 0; i < nv && !moved; i++ {
+			for j := 0; j < nv && !moved; j++ {
+				if i == j {
+					continue
+				}
+				cand := res.W.With(i, res.W[i]-1)
+				cand[j]++
+				ok, err := try(cand)
+				if err != nil {
+					return res, err
+				}
+				moved = ok
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	return res, nil
+}

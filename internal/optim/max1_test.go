@@ -1,0 +1,200 @@
+package optim
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/space"
+)
+
+func TestMaxMinusOneConverges(t *testing.T) {
+	oracle := additiveNoiseOracle([]float64{1, 1})
+	res, err := MaxMinusOne(oracle, MaxMinusOneOptions{
+		LambdaMin: -1e-4,
+		Bounds:    space.UniformBounds(2, 2, 16),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lambda < -1e-4 {
+		t.Errorf("λ = %v violates constraint", res.Lambda)
+	}
+	// No further decrement can stay feasible.
+	for i := range res.WRes {
+		if res.WRes[i] <= 2 {
+			continue
+		}
+		lam, _ := oracle.Evaluate(res.WRes.With(i, res.WRes[i]-1))
+		if lam >= -1e-4 {
+			t.Errorf("variable %d still decrementable at %v", i, res.WRes)
+		}
+	}
+}
+
+func TestMaxMinusOneAgreesWithMinPlusOne(t *testing.T) {
+	// On a separable monotone field both greedy directions should land
+	// on costs within a bit or two of each other.
+	oracle := additiveNoiseOracle([]float64{1, 3, 0.3})
+	bounds := space.UniformBounds(3, 1, 14)
+	up, err := MinPlusOne(oracle, MinPlusOneOptions{LambdaMin: -1e-3, Bounds: bounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	down, err := MaxMinusOne(oracle, MaxMinusOneOptions{LambdaMin: -1e-3, Bounds: bounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(TotalBits(up.WRes)-TotalBits(down.WRes)) > 3 {
+		t.Errorf("min+1 cost %v vs max-1 cost %v", TotalBits(up.WRes), TotalBits(down.WRes))
+	}
+}
+
+func TestMaxMinusOneInfeasible(t *testing.T) {
+	oracle := OracleFunc(func(space.Config) (float64, error) { return -1, nil })
+	if _, err := MaxMinusOne(oracle, MaxMinusOneOptions{
+		LambdaMin: 0,
+		Bounds:    space.UniformBounds(2, 1, 4),
+	}); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMaxMinusOneStopsAtLowerBound(t *testing.T) {
+	oracle := OracleFunc(func(space.Config) (float64, error) { return 1, nil })
+	res, err := MaxMinusOne(oracle, MaxMinusOneOptions{
+		LambdaMin: 0,
+		Bounds:    space.UniformBounds(2, 3, 6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WRes[0] != 3 || res.WRes[1] != 3 {
+		t.Errorf("descent stopped at %v, want the Lo corner", res.WRes)
+	}
+}
+
+func TestLocalSearchImproves(t *testing.T) {
+	// Start from a deliberately padded configuration; local search must
+	// strip the slack bits.
+	oracle := additiveNoiseOracle([]float64{1, 1})
+	bounds := space.UniformBounds(2, 2, 16)
+	start := space.Config{14, 14}
+	res, err := LocalSearch(oracle, start, LocalSearchOptions{
+		LambdaMin: -1e-3,
+		Bounds:    bounds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Improved {
+		t.Error("no improvement found from a padded start")
+	}
+	if res.Cost >= TotalBits(start) {
+		t.Errorf("cost %v not below start %v", res.Cost, TotalBits(start))
+	}
+	if res.Lambda < -1e-3 {
+		t.Error("result violates constraint")
+	}
+}
+
+func TestLocalSearchAtOptimumStays(t *testing.T) {
+	oracle := additiveNoiseOracle([]float64{1, 1})
+	bounds := space.UniformBounds(2, 1, 12)
+	ex, err := Exhaustive(oracle, ExhaustiveOptions{LambdaMin: -1e-3, Bounds: bounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := LocalSearch(oracle, ex.Best, LocalSearchOptions{LambdaMin: -1e-3, Bounds: bounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost < ex.Cost {
+		t.Errorf("local search beat the exhaustive optimum: %v < %v", res.Cost, ex.Cost)
+	}
+}
+
+func TestLocalSearchValidation(t *testing.T) {
+	oracle := additiveNoiseOracle([]float64{1})
+	bounds := space.UniformBounds(1, 1, 8)
+	if _, err := LocalSearch(oracle, space.Config{99}, LocalSearchOptions{Bounds: bounds}); err == nil {
+		t.Error("out-of-bounds start accepted")
+	}
+	if _, err := LocalSearch(oracle, space.Config{1}, LocalSearchOptions{
+		LambdaMin: 0, // infeasible at w=1 (λ is negative)
+		Bounds:    bounds,
+	}); !errors.Is(err, ErrInfeasible) {
+		t.Error("infeasible start accepted")
+	}
+}
+
+func TestLocalSearchBitExchangeWithCustomCost(t *testing.T) {
+	// Cost weights variable 0 double, so swapping a bit from 0 to 1 pays.
+	oracle := additiveNoiseOracle([]float64{1, 1})
+	bounds := space.UniformBounds(2, 2, 16)
+	cost := func(c space.Config) float64 { return 2*float64(c[0]) + float64(c[1]) }
+	res, err := LocalSearch(oracle, space.Config{12, 10}, LocalSearchOptions{
+		LambdaMin: -1e-3,
+		Bounds:    bounds,
+		Cost:      cost,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost >= cost(space.Config{12, 10}) {
+		t.Errorf("weighted cost not reduced: %v", res.Cost)
+	}
+}
+
+func TestPropertyMaxMinusOneFeasible(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		nv := 1 + r.Intn(4)
+		coef := make([]float64, nv)
+		for i := range coef {
+			coef[i] = 0.5 + 4*r.Float64()
+		}
+		oracle := additiveNoiseOracle(coef)
+		lambdaMin := -math.Exp2(-2 * (4 + 6*r.Float64()))
+		res, err := MaxMinusOne(oracle, MaxMinusOneOptions{
+			LambdaMin: lambdaMin,
+			Bounds:    space.UniformBounds(nv, 1, 16),
+		})
+		if err != nil {
+			return errors.Is(err, ErrInfeasible)
+		}
+		lam, _ := oracle.Evaluate(res.WRes)
+		return lam >= lambdaMin
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyLocalSearchNeverWorsens(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		nv := 1 + r.Intn(3)
+		coef := make([]float64, nv)
+		for i := range coef {
+			coef[i] = 0.5 + 2*r.Float64()
+		}
+		oracle := additiveNoiseOracle(coef)
+		bounds := space.UniformBounds(nv, 2, 14)
+		start := make(space.Config, nv)
+		for i := range start {
+			start[i] = r.IntRange(10, 14)
+		}
+		lambdaMin := -1e-2
+		res, err := LocalSearch(oracle, start, LocalSearchOptions{LambdaMin: lambdaMin, Bounds: bounds})
+		if err != nil {
+			return errors.Is(err, ErrInfeasible)
+		}
+		return res.Cost <= TotalBits(start) && res.Lambda >= lambdaMin
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,182 @@
+// Package optim implements the optimisation algorithms the paper plugs
+// its kriging evaluator into: the min+1 bit word-length algorithm
+// (Algorithms 1 and 2, after Cantin et al. [15]) and the steepest-descent
+// noise-budgeting algorithm used for the error-sensitivity benchmark
+// (after Parashar et al. [22]), plus an exhaustive search for small
+// spaces.
+//
+// The algorithms are written against the Oracle interface so that the
+// same code runs with a plain simulator (to record the Table I reference
+// trajectories) or with the kriging-accelerated evaluator.
+package optim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/space"
+)
+
+// Oracle evaluates the quality metric λ of a configuration. Both raw
+// simulators and the kriging evaluator satisfy it.
+type Oracle interface {
+	Evaluate(cfg space.Config) (float64, error)
+}
+
+// OracleFunc adapts a plain function to Oracle.
+type OracleFunc func(cfg space.Config) (float64, error)
+
+// Evaluate implements Oracle.
+func (f OracleFunc) Evaluate(cfg space.Config) (float64, error) { return f(cfg) }
+
+// ErrInfeasible is returned when no configuration within bounds satisfies
+// the accuracy constraint.
+var ErrInfeasible = errors.New("optim: accuracy constraint unreachable within bounds")
+
+// MinPlusOneOptions parameterises Algorithms 1-2.
+type MinPlusOneOptions struct {
+	// LambdaMin is the accuracy constraint λm: the result must satisfy
+	// λ(w) >= λm.
+	LambdaMin float64
+	// Bounds gives the word-length range of each variable; Hi plays the
+	// paper's Nmax role, Lo its lower stop (the pseudo-code stops at
+	// w_i <= 1).
+	Bounds space.Bounds
+	// MaxIterations caps the greedy phase; zero selects a generous
+	// default proportional to the search-space diameter.
+	MaxIterations int
+}
+
+// MinPlusOneResult reports the two phases of the algorithm.
+type MinPlusOneResult struct {
+	WMin space.Config // Algorithm 1 output: per-variable minimum word-lengths
+	WRes space.Config // Algorithm 2 output: optimised word-length vector
+	// Lambda is λ(WRes) as seen by the oracle.
+	Lambda float64
+	// Evaluations counts oracle calls across both phases.
+	Evaluations int
+}
+
+// MinPlusOne runs the complete min+1 bit algorithm.
+//
+// Phase 1 (Algorithm 1) finds, for each variable in isolation (all others
+// pinned at Nmax), the smallest word-length that still meets λm; phase 2
+// (Algorithm 2) starts from that vector and greedily adds one bit at a
+// time to the variable whose increment improves λ the most, until the
+// constraint is met.
+//
+// Two corrections to the paper's pseudo-code (documented in DESIGN.md):
+// the competition picks argmax λi rather than argmin (argmin cannot
+// converge with λ = -P), and the loop runs until λ >= λm rather than
+// λ <= λm (the constraint of Eq. 1 is λ > λmin).
+func MinPlusOne(oracle Oracle, opts MinPlusOneOptions) (MinPlusOneResult, error) {
+	if err := opts.Bounds.Validate(); err != nil {
+		return MinPlusOneResult{}, err
+	}
+	nv := opts.Bounds.Dim()
+	if nv == 0 {
+		return MinPlusOneResult{}, errors.New("optim: zero-dimensional bounds")
+	}
+	res := MinPlusOneResult{}
+
+	wmin, nEval, err := minimumWordlengths(oracle, opts)
+	res.Evaluations += nEval
+	if err != nil {
+		return res, err
+	}
+	res.WMin = wmin
+
+	wres, lambda, nEval, err := greedyRefine(oracle, opts, wmin)
+	res.Evaluations += nEval
+	if err != nil {
+		return res, err
+	}
+	res.WRes = wres
+	res.Lambda = lambda
+	return res, nil
+}
+
+// minimumWordlengths is Algorithm 1: for each variable i, pin all others
+// at Nmax and walk w_i downward until the accuracy constraint breaks;
+// the minimum is one step above the break point.
+func minimumWordlengths(oracle Oracle, opts MinPlusOneOptions) (space.Config, int, error) {
+	nv := opts.Bounds.Dim()
+	wmin := make(space.Config, nv)
+	nEval := 0
+	const unset = -1 << 30
+	for i := 0; i < nv; i++ {
+		w := opts.Bounds.Corner(true) // (Nmax, ..., Nmax)
+		lastOK := unset
+		for {
+			lam, err := oracle.Evaluate(w)
+			nEval++
+			if err != nil {
+				return nil, nEval, fmt.Errorf("optim: phase 1 evaluation of %v: %w", w, err)
+			}
+			if lam < opts.LambdaMin {
+				break
+			}
+			lastOK = w[i]
+			if w[i] <= opts.Bounds.Lo[i] {
+				break
+			}
+			w = w.With(i, w[i]-1)
+		}
+		if lastOK == unset {
+			// Even the all-Nmax configuration fails: no per-variable
+			// minimum exists and phase 2 could not converge either.
+			return nil, nEval, fmt.Errorf("%w: variable %d fails at Nmax", ErrInfeasible, i)
+		}
+		wmin[i] = lastOK
+	}
+	return wmin, nEval, nil
+}
+
+// greedyRefine is Algorithm 2: from wmin, repeatedly run a competition
+// between the variables — each candidate adds one bit to one variable —
+// and commit the winner until the constraint is met.
+func greedyRefine(oracle Oracle, opts MinPlusOneOptions, wmin space.Config) (space.Config, float64, int, error) {
+	nv := opts.Bounds.Dim()
+	wres := wmin.Clone()
+	nEval := 0
+
+	lam, err := oracle.Evaluate(wres)
+	nEval++
+	if err != nil {
+		return nil, 0, nEval, fmt.Errorf("optim: phase 2 seed evaluation: %w", err)
+	}
+	maxIter := opts.MaxIterations
+	if maxIter == 0 {
+		for i := 0; i < nv; i++ {
+			maxIter += opts.Bounds.Hi[i] - opts.Bounds.Lo[i] + 1
+		}
+		maxIter *= 2
+	}
+	for iter := 0; lam < opts.LambdaMin; iter++ {
+		if iter >= maxIter {
+			return nil, 0, nEval, fmt.Errorf("optim: greedy phase exceeded %d iterations", maxIter)
+		}
+		bestVar := -1
+		bestLam := 0.0
+		for i := 0; i < nv; i++ {
+			if wres[i] >= opts.Bounds.Hi[i] {
+				continue // already at Nmax
+			}
+			w := wres.With(i, wres[i]+1)
+			li, err := oracle.Evaluate(w)
+			nEval++
+			if err != nil {
+				return nil, 0, nEval, fmt.Errorf("optim: phase 2 evaluation of %v: %w", w, err)
+			}
+			if bestVar == -1 || li > bestLam {
+				bestVar, bestLam = i, li
+			}
+		}
+		if bestVar == -1 {
+			return nil, 0, nEval, ErrInfeasible
+		}
+		wres = wres.With(bestVar, wres[bestVar]+1)
+		lam = bestLam
+	}
+	return wres, lam, nEval, nil
+}

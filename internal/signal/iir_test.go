@@ -1,0 +1,168 @@
+package signal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/space"
+)
+
+// cascadeFreqResponse evaluates |H(e^{j2πf})| of a biquad cascade.
+func cascadeFreqResponse(secs []Biquad, f float64) float64 {
+	w := 2 * math.Pi * f
+	// z^-1 = e^{-jw}
+	zr, zi := math.Cos(-w), math.Sin(-w)
+	// z^-2
+	z2r, z2i := math.Cos(-2*w), math.Sin(-2*w)
+	mag := 1.0
+	for _, s := range secs {
+		nr := s.B0 + s.B1*zr + s.B2*z2r
+		ni := s.B1*zi + s.B2*z2i
+		dr := 1 + s.A1*zr + s.A2*z2r
+		di := s.A1*zi + s.A2*z2i
+		mag *= math.Hypot(nr, ni) / math.Hypot(dr, di)
+	}
+	return mag
+}
+
+func TestButterworthDesign(t *testing.T) {
+	secs, err := DesignButterworthLowpass(8, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(secs) != 4 {
+		t.Fatalf("sections = %d", len(secs))
+	}
+	// Unit DC gain.
+	if g := cascadeFreqResponse(secs, 0); math.Abs(g-1) > 1e-9 {
+		t.Errorf("DC gain = %v", g)
+	}
+	// -3 dB at the cutoff (Butterworth definition).
+	if g := cascadeFreqResponse(secs, 0.08); math.Abs(20*math.Log10(g)+3.01) > 0.2 {
+		t.Errorf("cutoff gain = %v dB, want ~-3", 20*math.Log10(g))
+	}
+	// Strong stopband attenuation an octave above.
+	if g := cascadeFreqResponse(secs, 0.16); 20*math.Log10(g) > -40 {
+		t.Errorf("stopband gain = %v dB", 20*math.Log10(g))
+	}
+	// Monotone passband (no ripple).
+	prev := 2.0
+	for f := 0.0; f <= 0.08; f += 0.005 {
+		g := cascadeFreqResponse(secs, f)
+		if g > prev+1e-9 {
+			t.Errorf("passband not monotone at f=%v", f)
+		}
+		prev = g
+	}
+}
+
+func TestButterworthStability(t *testing.T) {
+	secs, err := DesignButterworthLowpass(8, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each biquad must have poles inside the unit circle:
+	// |a2| < 1 and |a1| < 1 + a2.
+	for i, s := range secs {
+		if math.Abs(s.A2) >= 1 {
+			t.Errorf("section %d: |a2| = %v >= 1", i, math.Abs(s.A2))
+		}
+		if math.Abs(s.A1) >= 1+s.A2 {
+			t.Errorf("section %d violates stability triangle", i)
+		}
+	}
+}
+
+func TestButterworthValidation(t *testing.T) {
+	if _, err := DesignButterworthLowpass(7, 0.1); err == nil {
+		t.Error("odd order accepted")
+	}
+	if _, err := DesignButterworthLowpass(0, 0.1); err == nil {
+		t.Error("zero order accepted")
+	}
+	if _, err := DesignButterworthLowpass(8, 0.7); err == nil {
+		t.Error("cutoff > 0.5 accepted")
+	}
+}
+
+func TestIIRImpulseResponseDecays(t *testing.T) {
+	f, err := NewIIR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	impulse := make([]float64, 2048)
+	impulse[0] = 1
+	y := f.Reference(impulse)
+	var tail float64
+	for _, v := range y[1500:] {
+		tail += v * v
+	}
+	if tail > 1e-12 {
+		t.Errorf("impulse response tail energy %v: filter may be unstable", tail)
+	}
+}
+
+func TestIIRFixedApproachesReference(t *testing.T) {
+	f, err := NewIIR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := dataset.Signal(rng.New(3), 512, 0.9)
+	ref := f.Reference(x)
+	y, err := f.Fixed(space.Config{18, 18, 18, 18, 18}, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := metrics.NoisePower(y, ref)
+	if p > 1e-7 {
+		t.Errorf("P at 18 bits = %v", p)
+	}
+}
+
+func TestIIRNoiseDecreasesWithWordLength(t *testing.T) {
+	f, _ := NewIIR()
+	x := dataset.Signal(rng.New(4), 512, 0.9)
+	ref := f.Reference(x)
+	prev := math.Inf(1)
+	for _, w := range []int{6, 10, 14, 18} {
+		cfg := space.Config{w, w, w, w, w}
+		y, err := f.Fixed(cfg, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _ := metrics.NoisePower(y, ref)
+		if p > prev*1.05 {
+			t.Errorf("noise power grew at w=%d: %v -> %v", w, prev, p)
+		}
+		prev = p
+	}
+}
+
+func TestIIRBenchmarkInterface(t *testing.T) {
+	b, err := NewIIRBenchmark(1, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != "iir" || b.Nv() != 5 {
+		t.Errorf("Name/Nv: %s %d", b.Name(), b.Nv())
+	}
+	p, err := b.NoisePower(space.Config{8, 8, 8, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 {
+		t.Error("P should be positive at 8 bits")
+	}
+	if _, err := b.NoisePower(space.Config{8}); err == nil {
+		t.Error("short config accepted")
+	}
+}
+
+func TestNewIIRBenchmarkValidation(t *testing.T) {
+	if _, err := NewIIRBenchmark(1, -1); err == nil {
+		t.Error("negative samples accepted")
+	}
+}

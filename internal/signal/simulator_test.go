@@ -1,0 +1,99 @@
+package signal
+
+import (
+	"testing"
+
+	"repro/internal/space"
+)
+
+func TestSimulatorContractAcrossKernels(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() (Benchmark, error)
+		cfg  space.Config
+	}{
+		{"fir", func() (Benchmark, error) { return NewFIRBenchmark(1, 128) }, space.Config{8, 8}},
+		{"iir", func() (Benchmark, error) { return NewIIRBenchmark(1, 128) }, space.Config{8, 8, 8, 8, 8}},
+		{"fft", func() (Benchmark, error) { return NewFFTBenchmark(1, 2) }, space.Config{8, 8, 8, 8, 8, 8, 8, 8, 8, 8}},
+	}
+	for _, c := range cases {
+		b, err := c.mk()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		sim := &Simulator{B: b}
+		if sim.Nv() != b.Nv() {
+			t.Errorf("%s: Nv mismatch", c.name)
+		}
+		lam1, err := sim.Evaluate(c.cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		lam2, err := sim.Evaluate(c.cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if lam1 != lam2 {
+			t.Errorf("%s: evaluation not idempotent: %v vs %v", c.name, lam1, lam2)
+		}
+		if lam1 > 0 {
+			t.Errorf("%s: λ = -P must be non-positive, got %v", c.name, lam1)
+		}
+		// Bounds must contain the test configuration.
+		if !b.Bounds().Contains(c.cfg) {
+			t.Errorf("%s: test config outside bounds", c.name)
+		}
+	}
+}
+
+func TestSimulatorErrorPropagation(t *testing.T) {
+	b, err := NewFIRBenchmark(1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := &Simulator{B: b}
+	if _, err := sim.Evaluate(space.Config{1}); err == nil {
+		t.Error("short config accepted")
+	}
+}
+
+func TestBenchmarksAreConcurrencySafe(t *testing.T) {
+	// The batch evaluator runs simulations concurrently on ONE shared
+	// simulator; the kernels derive per-call formats (fixed.Datapath.
+	// Formats) instead of mutating shared nodes, so parallel NoisePower
+	// calls with different configurations must agree with sequential
+	// ones. Run with -race to catch regressions.
+	shared, err := NewFIRBenchmark(1, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []space.Config{{6, 6}, {8, 8}, {10, 10}, {12, 12}}
+	want := make([]float64, len(cfgs))
+	for i, cfg := range cfgs {
+		p, err := shared.NoisePower(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = p
+	}
+	got := make([]float64, len(cfgs))
+	errs := make([]error, len(cfgs))
+	done := make(chan int, len(cfgs))
+	for i := range cfgs {
+		go func(i int) {
+			got[i], errs[i] = shared.NoisePower(cfgs[i])
+			done <- i
+		}(i)
+	}
+	for range cfgs {
+		<-done
+	}
+	for i := range cfgs {
+		if errs[i] != nil {
+			t.Fatalf("concurrent eval %d: %v", i, errs[i])
+		}
+		if got[i] != want[i] {
+			t.Errorf("concurrent eval of %v = %v, sequential %v", cfgs[i], got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package space models the Nv-dimensional configuration hypercube the
+// paper's optimisation algorithms travel through.
+//
+// A configuration is an integer vector e = (e_0, ..., e_{Nv-1}) of
+// approximation knobs: word-lengths for the fixed-point benchmarks or
+// error-power indices for the sensitivity-analysis benchmark. The paper
+// measures proximity between configurations with the L1 norm (Algorithms
+// 1-2, line 9); L2 and L∞ are provided as well for the ablation benches.
+package space
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Config is an immutable-by-convention integer configuration vector.
+type Config []int
+
+// Clone returns an independent copy of c.
+func (c Config) Clone() Config {
+	out := make(Config, len(c))
+	copy(out, c)
+	return out
+}
+
+// Equal reports whether c and o are the same vector.
+func (c Config) Equal(o Config) bool {
+	if len(c) != len(o) {
+		return false
+	}
+	for i, v := range c {
+		if v != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string key for use in maps.
+func (c Config) Key() string {
+	var b strings.Builder
+	for i, v := range c {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	return b.String()
+}
+
+// String renders the configuration as e.g. "(8,12,10)".
+func (c Config) String() string { return "(" + c.Key() + ")" }
+
+// Floats converts the configuration to a float64 slice, the coordinate
+// form consumed by the kriging interpolator.
+func (c Config) Floats() []float64 {
+	out := make([]float64, len(c))
+	for i, v := range c {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// With returns a copy of c with dimension i set to v.
+func (c Config) With(i, v int) Config {
+	out := c.Clone()
+	out[i] = v
+	return out
+}
+
+// L1 returns the L1 (Manhattan) distance between two configurations,
+// the distance used by the paper (||w - w_sim||_1).
+func L1(a, b Config) int {
+	if len(a) != len(b) {
+		panic("space: L1 on configs of different dimension")
+	}
+	d := 0
+	for i, v := range a {
+		if v > b[i] {
+			d += v - b[i]
+		} else {
+			d += b[i] - v
+		}
+	}
+	return d
+}
+
+// L2 returns the Euclidean distance between two configurations.
+func L2(a, b Config) float64 {
+	if len(a) != len(b) {
+		panic("space: L2 on configs of different dimension")
+	}
+	var s float64
+	for i, v := range a {
+		dv := float64(v - b[i])
+		s += dv * dv
+	}
+	return math.Sqrt(s)
+}
+
+// LInf returns the Chebyshev distance between two configurations.
+func LInf(a, b Config) int {
+	if len(a) != len(b) {
+		panic("space: LInf on configs of different dimension")
+	}
+	m := 0
+	for i, v := range a {
+		d := v - b[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Metric identifies a distance function on the configuration hypercube.
+type Metric int
+
+// Supported metrics. MetricL1 is the paper's choice.
+const (
+	MetricL1 Metric = iota
+	MetricL2
+	MetricLInf
+)
+
+// String returns the metric name.
+func (m Metric) String() string {
+	switch m {
+	case MetricL1:
+		return "L1"
+	case MetricL2:
+		return "L2"
+	case MetricLInf:
+		return "Linf"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Distance evaluates the metric between two configurations as a float64
+// (integral metrics are widened).
+func (m Metric) Distance(a, b Config) float64 {
+	switch m {
+	case MetricL1:
+		return float64(L1(a, b))
+	case MetricL2:
+		return L2(a, b)
+	case MetricLInf:
+		return float64(LInf(a, b))
+	default:
+		panic("space: unknown metric")
+	}
+}
+
+// DistanceFloats evaluates the metric between float coordinate vectors;
+// kriging works in this continuous view of the hypercube.
+func (m Metric) DistanceFloats(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("space: distance on vectors of different dimension")
+	}
+	switch m {
+	case MetricL1:
+		var s float64
+		for i, v := range a {
+			s += math.Abs(v - b[i])
+		}
+		return s
+	case MetricL2:
+		var s float64
+		for i, v := range a {
+			d := v - b[i]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	case MetricLInf:
+		var mx float64
+		for i, v := range a {
+			if d := math.Abs(v - b[i]); d > mx {
+				mx = d
+			}
+		}
+		return mx
+	default:
+		panic("space: unknown metric")
+	}
+}

@@ -1,0 +1,155 @@
+// Package store implements the (Wsim, λsim) memory of Algorithms 1-2: the
+// matrix of already-simulated configurations and their measured metric
+// values, with the L1 radius queries that collect the kriging support of
+// a new configuration.
+package store
+
+import (
+	"sort"
+
+	"repro/internal/space"
+)
+
+// Entry is one simulated configuration and its measured metric value.
+type Entry struct {
+	Config space.Config
+	Lambda float64
+}
+
+// Store accumulates simulated configurations. Interpolated configurations
+// are deliberately NOT stored: "If the configuration is interpolated, it
+// is not used for kriging other configurations" (paper, §III-B.1).
+type Store struct {
+	entries []Entry
+	index   map[string]int // config key -> entries index
+	metric  space.Metric
+}
+
+// New creates an empty store using the given distance metric for
+// neighbour queries (the paper uses L1).
+func New(metric space.Metric) *Store {
+	return &Store{index: make(map[string]int), metric: metric}
+}
+
+// Len returns the number of simulated configurations (Nsim).
+func (s *Store) Len() int { return len(s.entries) }
+
+// Metric returns the store's distance metric.
+func (s *Store) Metric() space.Metric { return s.metric }
+
+// Add records a simulated configuration and its metric value. Re-adding
+// an existing configuration overwrites its value and reports false.
+func (s *Store) Add(c space.Config, lambda float64) (added bool) {
+	key := c.Key()
+	if i, ok := s.index[key]; ok {
+		s.entries[i].Lambda = lambda
+		return false
+	}
+	s.index[key] = len(s.entries)
+	s.entries = append(s.entries, Entry{Config: c.Clone(), Lambda: lambda})
+	return true
+}
+
+// Lookup returns the stored value for an exact configuration match.
+func (s *Store) Lookup(c space.Config) (float64, bool) {
+	if i, ok := s.index[c.Key()]; ok {
+		return s.entries[i].Lambda, true
+	}
+	return 0, false
+}
+
+// Entries returns a copy of the stored entries in insertion order.
+func (s *Store) Entries() []Entry {
+	out := make([]Entry, len(s.entries))
+	copy(out, s.entries)
+	return out
+}
+
+// Neighborhood is the kriging support collected for one query: parallel
+// slices of float coordinates and metric values, mirroring the paper's
+// Wtmp / λtmp accumulators.
+type Neighborhood struct {
+	Coords [][]float64
+	Values []float64
+	// Dists holds the distance of each support point to the query.
+	Dists []float64
+}
+
+// Len returns the number of support points (Nn).
+func (nb *Neighborhood) Len() int { return len(nb.Values) }
+
+// NearestK returns the k closest support points (ties kept in insertion
+// order), or the whole neighbourhood when k <= 0 or k >= Len. Capping the
+// kriging support at the nearest points is the standard way to keep the
+// Γ system small and well conditioned (Numerical Recipes recommends
+// "order 20 or fewer" supports).
+func (nb *Neighborhood) NearestK(k int) *Neighborhood {
+	if k <= 0 || k >= nb.Len() {
+		return nb
+	}
+	idx := make([]int, nb.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	// Stable selection by distance: insertion order breaks ties, keeping
+	// the result deterministic.
+	sort.SliceStable(idx, func(a, b int) bool { return nb.Dists[idx[a]] < nb.Dists[idx[b]] })
+	out := &Neighborhood{}
+	for _, i := range idx[:k] {
+		out.Coords = append(out.Coords, nb.Coords[i])
+		out.Values = append(out.Values, nb.Values[i])
+		out.Dists = append(out.Dists, nb.Dists[i])
+	}
+	return out
+}
+
+// WithoutZeroDistance returns a copy of the neighbourhood with the
+// zero-distance entries removed (used to exclude the query point itself
+// from leave-one-out style supports).
+func (nb *Neighborhood) WithoutZeroDistance() *Neighborhood {
+	out := &Neighborhood{}
+	for i, d := range nb.Dists {
+		if d == 0 {
+			continue
+		}
+		out.Coords = append(out.Coords, nb.Coords[i])
+		out.Values = append(out.Values, nb.Values[i])
+		out.Dists = append(out.Dists, d)
+	}
+	return out
+}
+
+// Neighbors collects every simulated configuration within distance <= d of
+// w (lines 7-16 of Algorithms 1-2). The scan is linear over the store,
+// exactly as in the pseudo-code; store sizes in these optimisation runs
+// are hundreds at most.
+func (s *Store) Neighbors(w space.Config, d float64) *Neighborhood {
+	nb := &Neighborhood{}
+	for _, e := range s.entries {
+		dist := s.metric.Distance(w, e.Config)
+		if dist <= d {
+			nb.Coords = append(nb.Coords, e.Config.Floats())
+			nb.Values = append(nb.Values, e.Lambda)
+			nb.Dists = append(nb.Dists, dist)
+		}
+	}
+	return nb
+}
+
+// AllSamples returns the whole store as a Neighborhood (distances zeroed),
+// the form consumed by global variogram identification.
+func (s *Store) AllSamples() *Neighborhood {
+	nb := &Neighborhood{}
+	for _, e := range s.entries {
+		nb.Coords = append(nb.Coords, e.Config.Floats())
+		nb.Values = append(nb.Values, e.Lambda)
+		nb.Dists = append(nb.Dists, 0)
+	}
+	return nb
+}
+
+// Reset empties the store.
+func (s *Store) Reset() {
+	s.entries = s.entries[:0]
+	s.index = make(map[string]int)
+}

@@ -1,0 +1,124 @@
+package variogram
+
+import (
+	"math"
+	"sort"
+)
+
+// Pair is a (distance, semivariance-contribution) observation:
+// one couple (j, k) of sampled configurations at separation Dist with
+// squared value difference Sq = (λ(e_j) - λ(e_k))².
+type Pair struct {
+	Dist float64
+	Sq   float64
+}
+
+// CloudFromSamples builds the full variogram cloud from sample
+// coordinates xs and values ys, using dist to measure separation.
+// It is O(n²) in the number of samples; the paper's supports are tiny.
+func CloudFromSamples(xs [][]float64, ys []float64, dist func(a, b []float64) float64) []Pair {
+	n := len(xs)
+	if len(ys) != n {
+		panic("variogram: coordinate/value count mismatch")
+	}
+	pairs := make([]Pair, 0, n*(n-1)/2)
+	for j := 0; j < n; j++ {
+		for k := j + 1; k < n; k++ {
+			d := dist(xs[j], xs[k])
+			dv := ys[j] - ys[k]
+			pairs = append(pairs, Pair{Dist: d, Sq: dv * dv})
+		}
+	}
+	return pairs
+}
+
+// Bin is one entry of the empirical semivariogram: the average
+// semivariance Gamma over the |N(d)| pairs whose separation falls in
+// the bin centred at Dist (Eq. 4 of the paper).
+type Bin struct {
+	Dist  float64 // representative distance (mean of member distances)
+	Gamma float64 // (1 / 2|N(d)|) · Σ (λj - λk)²
+	Count int     // |N(d)|
+}
+
+// Empirical computes the binned empirical semivariogram from a variogram
+// cloud. Distances are grouped into nBins equal-width bins over
+// (0, maxDist]; pairs at zero distance contribute to a dedicated first
+// bin (they estimate the nugget). Bins with no pairs are omitted.
+func Empirical(pairs []Pair, nBins int, maxDist float64) []Bin {
+	if nBins <= 0 || maxDist <= 0 || len(pairs) == 0 {
+		return nil
+	}
+	sumSq := make([]float64, nBins+1) // index 0: zero-distance pairs
+	sumD := make([]float64, nBins+1)
+	count := make([]int, nBins+1)
+	width := maxDist / float64(nBins)
+	for _, p := range pairs {
+		if p.Dist > maxDist || p.Dist < 0 || math.IsNaN(p.Dist) {
+			continue
+		}
+		var idx int
+		if p.Dist == 0 {
+			idx = 0
+		} else {
+			idx = 1 + int((p.Dist-1e-12)/width)
+			if idx > nBins {
+				idx = nBins
+			}
+		}
+		sumSq[idx] += p.Sq
+		sumD[idx] += p.Dist
+		count[idx]++
+	}
+	var bins []Bin
+	for i := 0; i <= nBins; i++ {
+		if count[i] == 0 {
+			continue
+		}
+		bins = append(bins, Bin{
+			Dist:  sumD[i] / float64(count[i]),
+			Gamma: sumSq[i] / (2 * float64(count[i])),
+			Count: count[i],
+		})
+	}
+	return bins
+}
+
+// EmpiricalExact computes the empirical semivariogram grouping pairs by
+// exact distance value rather than by bins. On the integer configuration
+// lattices of the paper (L1 distances are small integers) this is the
+// most faithful reading of Eq. 4, where N(d) collects the couples at
+// distance exactly d.
+func EmpiricalExact(pairs []Pair) []Bin {
+	byDist := make(map[float64]*Bin)
+	for _, p := range pairs {
+		if math.IsNaN(p.Dist) || p.Dist < 0 {
+			continue
+		}
+		b, ok := byDist[p.Dist]
+		if !ok {
+			b = &Bin{Dist: p.Dist}
+			byDist[p.Dist] = b
+		}
+		b.Gamma += p.Sq
+		b.Count++
+	}
+	bins := make([]Bin, 0, len(byDist))
+	for _, b := range byDist {
+		b.Gamma /= 2 * float64(b.Count)
+		bins = append(bins, *b)
+	}
+	sort.Slice(bins, func(i, j int) bool { return bins[i].Dist < bins[j].Dist })
+	return bins
+}
+
+// MaxDist returns the largest pair distance, or 0 for an empty cloud.
+func MaxDist(pairs []Pair) float64 {
+	var m float64
+	for _, p := range pairs {
+		if p.Dist > m {
+			m = p.Dist
+		}
+	}
+	return m
+}

@@ -1,0 +1,44 @@
+package variogram_test
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/variogram"
+)
+
+// ExampleEmpiricalExact computes Eq. 4 of the paper on a tiny sample set.
+func ExampleEmpiricalExact() {
+	l1 := func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			s += math.Abs(a[i] - b[i])
+		}
+		return s
+	}
+	xs := [][]float64{{0}, {1}, {2}}
+	ys := []float64{0, 2, 4}
+	bins := variogram.EmpiricalExact(variogram.CloudFromSamples(xs, ys, l1))
+	for _, b := range bins {
+		fmt.Printf("gamma(%.0f) = %.1f over %d pairs\n", b.Dist, b.Gamma, b.Count)
+	}
+	// Output:
+	// gamma(1) = 2.0 over 2 pairs
+	// gamma(2) = 8.0 over 1 pairs
+}
+
+// ExampleFitPower fits the Numerical-Recipes power model the paper's
+// kriging is built on.
+func ExampleFitPower() {
+	pairs := []variogram.Pair{
+		{Dist: 1, Sq: 2 * 3.0}, // gamma(1) = 3
+		{Dist: 2, Sq: 2 * 3.0 * math.Pow(2, 1.5)},
+	}
+	m, err := variogram.FitPower(pairs, 1.5, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("alpha=%.1f gamma(4)=%.1f\n", m.Alpha, m.Gamma(4))
+	// Output:
+	// alpha=3.0 gamma(4)=24.0
+}

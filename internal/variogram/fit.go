@@ -1,0 +1,168 @@
+package variogram
+
+import (
+	"math"
+)
+
+// DefaultBeta is the fixed power-law exponent of the Numerical Recipes
+// powvargram model; the paper's kriging follows that implementation.
+const DefaultBeta = 1.5
+
+// FitPower fits the power-law model γ(h) = α·h^β with fixed β to a
+// variogram cloud by the Numerical Recipes least-squares rule:
+// α = Σ γᵢ·hᵢ^β / Σ hᵢ^(2β) over all pairs, where γᵢ = Sqᵢ/2.
+// A non-negative nugget can be supplied by the caller (0 is the NR
+// default). Zero-distance pairs carry no slope information and are
+// skipped.
+func FitPower(pairs []Pair, beta, nugget float64) (*PowerModel, error) {
+	if beta <= 0 || beta >= 2 {
+		beta = DefaultBeta
+	}
+	var num, den float64
+	n := 0
+	for _, p := range pairs {
+		if p.Dist <= 0 || math.IsNaN(p.Dist) || math.IsNaN(p.Sq) {
+			continue
+		}
+		hb := math.Pow(p.Dist, beta)
+		gamma := p.Sq / 2
+		if gamma > nugget {
+			gamma -= nugget
+		} else {
+			gamma = 0
+		}
+		num += gamma * hb
+		den += hb * hb
+		n++
+	}
+	if n == 0 || den == 0 {
+		return nil, ErrInsufficientData
+	}
+	alpha := num / den
+	if alpha < 0 {
+		alpha = 0
+	}
+	return &PowerModel{Alpha: alpha, Beta: beta, Nugget: nugget}, nil
+}
+
+// FitLinear fits γ(h) = slope·h to a cloud by least squares through the
+// origin (after removing the nugget).
+func FitLinear(pairs []Pair, nugget float64) (*LinearModel, error) {
+	var num, den float64
+	n := 0
+	for _, p := range pairs {
+		if p.Dist <= 0 || math.IsNaN(p.Dist) || math.IsNaN(p.Sq) {
+			continue
+		}
+		gamma := p.Sq / 2
+		if gamma > nugget {
+			gamma -= nugget
+		} else {
+			gamma = 0
+		}
+		num += gamma * p.Dist
+		den += p.Dist * p.Dist
+		n++
+	}
+	if n == 0 || den == 0 {
+		return nil, ErrInsufficientData
+	}
+	slope := num / den
+	if slope < 0 {
+		slope = 0
+	}
+	return &LinearModel{Slope: slope, Nugget: nugget}, nil
+}
+
+// sillAndRange estimates a sill and range from binned data: the sill as
+// the mean gamma of the top-distance third of bins, the range as the
+// first distance at which gamma reaches 95% of that sill.
+func sillAndRange(bins []Bin) (sill, rng float64, ok bool) {
+	if len(bins) == 0 {
+		return 0, 0, false
+	}
+	start := 2 * len(bins) / 3
+	var s float64
+	n := 0
+	for _, b := range bins[start:] {
+		s += b.Gamma
+		n++
+	}
+	if n == 0 {
+		return 0, 0, false
+	}
+	sill = s / float64(n)
+	if sill <= 0 {
+		// A flat-zero field; give a tiny positive sill so that the
+		// kriging system stays non-degenerate.
+		sill = 1e-300
+	}
+	rng = bins[len(bins)-1].Dist
+	for _, b := range bins {
+		if b.Gamma >= 0.95*sill && b.Dist > 0 {
+			rng = b.Dist
+			break
+		}
+	}
+	if rng <= 0 {
+		rng = 1
+	}
+	return sill, rng, true
+}
+
+// FitSpherical fits a spherical model to a cloud via binned moments.
+func FitSpherical(pairs []Pair, nugget float64) (*SphericalModel, error) {
+	bins := EmpiricalExact(pairs)
+	sill, rng, ok := sillAndRange(bins)
+	if !ok {
+		return nil, ErrInsufficientData
+	}
+	return &SphericalModel{Sill: sill, Range: rng, Nugget: nugget}, nil
+}
+
+// FitExponential fits an exponential model to a cloud via binned moments.
+// The effective range of the exponential model is ~3·Range, so the
+// estimated plateau distance is divided by 3.
+func FitExponential(pairs []Pair, nugget float64) (*ExponentialModel, error) {
+	bins := EmpiricalExact(pairs)
+	sill, rng, ok := sillAndRange(bins)
+	if !ok {
+		return nil, ErrInsufficientData
+	}
+	return &ExponentialModel{Sill: sill, Range: rng / 3, Nugget: nugget}, nil
+}
+
+// FitGaussian fits a Gaussian model to a cloud via binned moments. The
+// effective range of the Gaussian model is ~√3·Range.
+func FitGaussian(pairs []Pair, nugget float64) (*GaussianModel, error) {
+	bins := EmpiricalExact(pairs)
+	sill, rng, ok := sillAndRange(bins)
+	if !ok {
+		return nil, ErrInsufficientData
+	}
+	return &GaussianModel{Sill: sill, Range: rng / math.Sqrt(3), Nugget: nugget}, nil
+}
+
+// Fit dispatches to the fitting routine for the requested family.
+func Fit(kind Kind, pairs []Pair, nugget float64) (Model, error) {
+	switch kind {
+	case Power:
+		return FitPower(pairs, DefaultBeta, nugget)
+	case Linear:
+		return FitLinear(pairs, nugget)
+	case Spherical:
+		return FitSpherical(pairs, nugget)
+	case Exponential:
+		return FitExponential(pairs, nugget)
+	case Gaussian:
+		return FitGaussian(pairs, nugget)
+	default:
+		return nil, ErrInsufficientData
+	}
+}
+
+// FitSamples is a convenience that builds the cloud from samples and fits
+// the requested family in one call.
+func FitSamples(kind Kind, xs [][]float64, ys []float64, dist func(a, b []float64) float64, nugget float64) (Model, error) {
+	return Fit(kind, CloudFromSamples(xs, ys, dist), nugget)
+}
