@@ -6,7 +6,11 @@
 // Usage:
 //
 //	wlopt [-bench fir|iir|fft|hevc] [-d n] [-nnmin n] [-lambda dB]
-//	      [-size small|full] [-seed n] [-nokriging]
+//	      [-size small|full] [-seed n] [-nokriging] [-workers n]
+//
+// With -workers > 1 (or 0 for GOMAXPROCS) the min+1 competition evaluates
+// its candidate word-length vectors as one parallel batch per greedy
+// round, so the optimisation scales across cores.
 package main
 
 import (
@@ -36,6 +40,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "experiment seed")
 		noKriging = flag.Bool("nokriging", false, "disable interpolation (simulation only)")
 		refine    = flag.Bool("refine", false, "run a ±1 local search after the optimiser")
+		workers   = flag.Int("workers", 1, "parallel simulations per competition round (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *benchName == "squeezenet" {
@@ -64,13 +69,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	oracle := optim.OracleFunc(func(cfg space.Config) (float64, error) {
-		res, err := ev.Evaluate(cfg)
-		if err != nil {
-			return 0, err
-		}
-		return res.Lambda, nil
-	})
+	// The adapter satisfies optim.BatchOracle, so the min+1 competition
+	// runs each round's candidates as one parallel batch when -workers
+	// allows more than one in-flight simulation; -workers 1 keeps the
+	// classic sequential semantics (the adapter issues batch members one
+	// at a time, letting later candidates krige from earlier ones).
+	var oracle optim.Oracle = ev.Oracle(*workers)
 	lambdaMin := -math.Pow(10, *lambdaDB/10)
 	var (
 		wres        space.Config

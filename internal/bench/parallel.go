@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/evaluator"
+	"repro/internal/rng"
+	"repro/internal/space"
+)
+
+// ParallelRow is one point of the worker-scaling sweep: the wall-clock
+// cost and throughput of answering one batch of evaluator queries with a
+// given number of in-flight simulations.
+type ParallelRow struct {
+	Workers    int
+	Batch      int           // queries in the batch
+	Elapsed    time.Duration // wall-clock for the whole batch
+	Throughput float64       // queries per second
+	Speedup    float64       // vs the first (baseline) row
+}
+
+// ParallelOptions configures ParallelSweep.
+type ParallelOptions struct {
+	// Nv is the configuration dimensionality; zero selects 8.
+	Nv int
+	// Batch is the number of queries per batch; zero selects 64.
+	Batch int
+	// Workers lists the worker counts to sweep; nil selects 1, 2, 4, 8.
+	Workers []int
+	// SimLatency is the synthetic cost of one simulation; zero selects
+	// 1ms, the short end of the paper's "costly simulation" regime (its
+	// real campaigns run seconds to hours per simulation).
+	SimLatency time.Duration
+	// D is the kriging radius; zero disables interpolation so the sweep
+	// isolates simulator scaling.
+	D float64
+	// Seed drives the random batch; zero selects 1.
+	Seed uint64
+}
+
+func (o *ParallelOptions) defaults() {
+	if o.Nv == 0 {
+		o.Nv = 8
+	}
+	if o.Batch == 0 {
+		o.Batch = 64
+	}
+	if len(o.Workers) == 0 {
+		o.Workers = []int{1, 2, 4, 8}
+	}
+	if o.SimLatency == 0 {
+		o.SimLatency = time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// parallelSim builds a concurrency-safe synthetic simulator: it sleeps
+// for the configured latency (standing in for the real application
+// simulation) and returns the analytic noise power of a word-length
+// vector, the same field shape as the paper's benchmarks.
+func parallelSim(nv int, latency time.Duration) evaluator.SimulatorFunc {
+	return evaluator.SimulatorFunc{
+		NumVars: nv,
+		Fn: func(cfg space.Config) (float64, error) {
+			time.Sleep(latency)
+			var p float64
+			for _, w := range cfg {
+				q := 1.0
+				for b := 0; b < w; b++ {
+					q /= 2
+				}
+				p += q * q / 12 // uniform quantisation noise 2^-2w/12
+			}
+			return -p, nil
+		},
+	}
+}
+
+// parallelBatch draws a batch of distinct random configurations.
+func parallelBatch(nv, n int, seed uint64) []space.Config {
+	r := rng.New(seed)
+	seen := make(map[string]bool, n)
+	cfgs := make([]space.Config, 0, n)
+	for len(cfgs) < n {
+		c := make(space.Config, nv)
+		for i := range c {
+			c[i] = r.IntRange(4, 16)
+		}
+		if key := c.Key(); !seen[key] {
+			seen[key] = true
+			cfgs = append(cfgs, c)
+		}
+	}
+	return cfgs
+}
+
+// ParallelSweep measures EvaluateAll throughput across worker counts: for
+// each worker count it builds a fresh evaluator (identical store state),
+// answers one batch, and reports wall-clock, throughput and speedup
+// against the first row. With the default ≥1ms simulated latency the
+// sweep demonstrates the multi-core path of the batch evaluator; the
+// numbers back the CHANGES.md table of this repository.
+func ParallelSweep(opts ParallelOptions) ([]ParallelRow, error) {
+	opts.defaults()
+	cfgs := parallelBatch(opts.Nv, opts.Batch, opts.Seed)
+	rows := make([]ParallelRow, 0, len(opts.Workers))
+	for _, w := range opts.Workers {
+		ev, err := evaluator.New(parallelSim(opts.Nv, opts.SimLatency), evaluator.Options{
+			D: opts.D, NnMin: 1, MaxSupport: 10,
+		})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := ev.EvaluateAll(cfgs, w); err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		row := ParallelRow{Workers: w, Batch: len(cfgs), Elapsed: elapsed}
+		if elapsed > 0 {
+			row.Throughput = float64(len(cfgs)) / elapsed.Seconds()
+		}
+		if len(rows) > 0 && elapsed > 0 {
+			row.Speedup = float64(rows[0].Elapsed) / float64(elapsed)
+		} else {
+			row.Speedup = 1
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderParallel renders the sweep as a text table.
+func RenderParallel(rows []ParallelRow, latency time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "EvaluateAll worker scaling (simulator latency %v)\n", latency)
+	fmt.Fprintf(&b, "%8s %7s %12s %12s %8s\n", "workers", "batch", "elapsed", "eval/s", "speedup")
+	b.WriteString(strings.Repeat("-", 52) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d %7d %12v %12.1f %7.2fx\n", r.Workers, r.Batch, r.Elapsed.Round(time.Millisecond), r.Throughput, r.Speedup)
+	}
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/evaluator"
+)
+
+// TestParallelSweepSpeedup is the acceptance check of the parallel
+// evaluation path: on a simulator with >= 1ms latency, 8 workers must
+// deliver at least 3x the single-worker throughput.
+func TestParallelSweepSpeedup(t *testing.T) {
+	rows, err := ParallelSweep(ParallelOptions{
+		Batch:      48,
+		Workers:    []int{1, 8},
+		SimLatency: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Workers != 1 || rows[1].Workers != 8 {
+		t.Fatalf("unexpected worker order: %+v", rows)
+	}
+	if rows[1].Speedup < 3 {
+		t.Errorf("8-worker speedup = %.2fx, want >= 3x (rows: %+v)", rows[1].Speedup, rows)
+	}
+}
+
+// TestParallelSweepDefaultsAndRender exercises the default sweep shape
+// and the renderer on a fast configuration.
+func TestParallelSweepDefaultsAndRender(t *testing.T) {
+	rows, err := ParallelSweep(ParallelOptions{
+		Batch:      8,
+		SimLatency: 100 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("default worker sweep has %d rows, want 4", len(rows))
+	}
+	for i, w := range []int{1, 2, 4, 8} {
+		if rows[i].Workers != w || rows[i].Batch != 8 {
+			t.Errorf("row %d = %+v", i, rows[i])
+		}
+		if rows[i].Throughput <= 0 {
+			t.Errorf("row %d throughput %v", i, rows[i].Throughput)
+		}
+	}
+	out := RenderParallel(rows, 100*time.Microsecond)
+	if !strings.Contains(out, "workers") || !strings.Contains(out, "speedup") {
+		t.Errorf("render missing headers:\n%s", out)
+	}
+}
+
+// BenchmarkEvaluateAllParallel sweeps the batch evaluator over worker
+// counts on a 1ms-latency simulator:
+//
+//	go test ./internal/bench -run=NONE -bench=BenchmarkEvaluateAllParallel -benchtime=3x
+//
+// ns/op is the wall-clock of one 64-query batch, so the worker scaling is
+// read directly off the sub-benchmark ratios.
+func BenchmarkEvaluateAllParallel(b *testing.B) {
+	const batch = 64
+	cfgs := parallelBatch(8, batch, 1)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				ev, err := evaluator.New(parallelSim(8, time.Millisecond), evaluator.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := ev.EvaluateAll(cfgs, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -4,104 +4,113 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/space"
 )
 
-// EvaluateAll answers a batch of independent queries, running the
-// simulations the batch needs concurrently (the interpolation decisions
-// and the kriging itself stay sequential — they are microseconds).
+// EvaluateAll answers a batch of independent queries on a bounded worker
+// pool: each worker runs whole queries — exact-hit lookup, interpolation
+// decision, kriging, and (when needed) the simulation — so the
+// simulator's latency AND the kriging linear algebra scale across cores.
 //
 // The batch semantics match issuing the queries one at a time EXCEPT that
-// no query in the batch uses another batch member as kriging support:
-// the decision pass runs against the store as it stood on entry. This is
-// exactly the situation of the min+1 competition (Algorithm 2 lines
-// 4-26), which evaluates Nv independent single-bit increments of the same
-// incumbent — simulating them in parallel changes no decision the
-// sequential pseudo-code would have made, because sibling candidates are
-// never within distance 0 of each other and the paper never kriges from
-// unsimulated values.
+// no query in the batch observes another batch member — neither as an
+// exact store hit (a duplicated configuration is simulated once per
+// occurrence) nor as kriging support: every decision runs against an
+// immutable snapshot of the store taken on entry. Sequential issuing lets
+// a later query krige from an earlier query's freshly stored simulation
+// (min+1 sibling candidates sit at L1 distance 2 from each other, inside
+// the usual radius), so a batch can legitimately return different —
+// equally valid — interpolations than the one-at-a-time order. Both obey
+// the paper's rule of never kriging from unsimulated values; the batch is
+// simply the order-free reading of Algorithm 2's competition, whose Nv
+// candidates are independent increments of one incumbent.
 //
-// Workers bounds the simulator concurrency; zero selects GOMAXPROCS.
-// The Simulator must be safe for concurrent use: all the benchmark
-// simulators in this repository are, because their datapaths derive
-// per-call format sets (fixed.Datapath.Formats) rather than mutating
-// shared node state.
+// Determinism: results are indexed by input position, interpolations
+// depend only on the entry snapshot, and the store absorbs the new
+// simulation results in input order after the whole batch has succeeded —
+// so a batch leaves the evaluator in the same state regardless of worker
+// count or scheduling.
+//
+// Workers bounds the in-flight simulations; zero selects GOMAXPROCS. The
+// Simulator must be safe for concurrent use. On failure the batch stops
+// claiming further queries, the earliest (by input order) observed error
+// is reported, and the store is left untouched.
 func (e *Evaluator) EvaluateAll(cfgs []space.Config, workers int) ([]Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	results := make([]Result, len(cfgs))
-	// Pass 1 (sequential): exact hits and interpolation decisions
-	// against the entry store.
-	type job struct{ idx int }
-	var jobs []job
-	for i, cfg := range cfgs {
-		if lam, ok := e.store.Lookup(cfg); ok {
-			results[i] = Result{Lambda: lam, Source: Simulated}
-			continue
-		}
-		interpolated := false
-		if e.opts.D > 0 {
-			nb := e.store.Neighbors(cfg, e.opts.D)
-			if nb.Len() > e.opts.NnMin {
-				nb = nb.NearestK(e.opts.MaxSupport)
-				start := time.Now()
-				lam, err := e.interpolate(nb, cfg)
-				e.stats.InterpTime += time.Since(start)
-				if err == nil {
-					e.stats.NInterp++
-					e.stats.SumNeigh += nb.Len()
-					results[i] = Result{Lambda: lam, Source: Interpolated, Neighbors: nb.Len()}
-					interpolated = true
-				}
-			}
-		}
-		if !interpolated {
-			jobs = append(jobs, job{idx: i})
-		}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
 	}
-	// Pass 2 (parallel): the remaining simulations.
-	if len(jobs) > 0 {
-		var (
-			wg       sync.WaitGroup
-			mu       sync.Mutex
-			firstErr error
-		)
-		sem := make(chan struct{}, workers)
-		start := time.Now()
-		for _, j := range jobs {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(idx int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				lam, err := e.sim.Evaluate(cfgs[idx])
-				mu.Lock()
-				defer mu.Unlock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = fmt.Errorf("evaluator: simulation of %v failed: %w", cfgs[idx], err)
-					}
+	results := make([]Result, len(cfgs))
+	if len(cfgs) == 0 {
+		return results, nil
+	}
+	snap := e.store.Snapshot()
+	var (
+		simulated = make([]bool, len(cfgs))
+		errs      = make([]error, len(cfgs))
+		failed    atomic.Bool
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		// The batch's activity accumulates here and merges into the live
+		// stats only on success, so a failed (discarded) batch cannot
+		// skew SimTime/NSim and the Eq. 2 model built on them.
+		batchStats counters
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// Once any query has failed the whole batch's results
+				// will be discarded, so stop claiming work rather than
+				// burn hours of simulation on answers nobody will see.
+				if failed.Load() {
 					return
 				}
+				idx := int(next.Add(1)) - 1
+				if idx >= len(cfgs) {
+					return
+				}
+				cfg := cfgs[idx]
+				if res, ok := e.answerFromStore(snap, cfg, &batchStats); ok {
+					results[idx] = res
+					continue
+				}
+				start := time.Now()
+				lam, err := e.sim.Evaluate(cfg)
+				batchStats.simTime.Add(int64(time.Since(start)))
+				if err != nil {
+					errs[idx] = fmt.Errorf("evaluator: simulation of %v failed: %w", cfg, err)
+					failed.Store(true)
+					continue
+				}
 				results[idx] = Result{Lambda: lam, Source: Simulated}
-			}(j.idx)
-		}
-		wg.Wait()
-		// Wall-clock time of the parallel region; the Eq. 2 accounting
-		// wants elapsed time, not CPU time.
-		e.stats.SimTime += time.Since(start)
-		if firstErr != nil {
-			return nil, firstErr
-		}
-		// Store updates happen once everything succeeded, in input
-		// order, keeping the store deterministic.
-		for _, j := range jobs {
-			e.store.Add(cfgs[j.idx], results[j.idx].Lambda)
-			e.stats.NSim++
+				simulated[idx] = true
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() {
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
+	// Store updates happen once everything succeeded, in input order,
+	// keeping the store contents (and NearestK tie-breaking in later
+	// queries) deterministic.
+	for idx := range cfgs {
+		if simulated[idx] {
+			e.store.Add(cfgs[idx], results[idx].Lambda)
+			batchStats.nSim.Add(1)
+		}
+	}
+	e.stats.merge(&batchStats)
 	return results, nil
 }

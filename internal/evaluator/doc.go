@@ -1,0 +1,21 @@
+// Package evaluator implements the paper's core contribution: a quality
+// metric evaluator that answers each query either by running the real
+// simulation (evaluateAccuracy in the paper) or, when enough previously
+// simulated configurations lie within L1 distance d, by kriging them
+// (lines 7-24 of Algorithms 1 and 2).
+//
+// The same component provides the replay protocol used to build Table I:
+// feed the recorded trajectory of a simulation-only optimisation run back
+// through the evaluator and compare every interpolated value against the
+// recorded truth.
+//
+// # Concurrency
+//
+// An Evaluator is safe for concurrent use: the support store is sharded
+// (see internal/store), the activity counters are atomic, and EvaluateAll
+// runs whole queries — decision, kriging and simulation — on a bounded
+// worker pool against a point-in-time store snapshot, producing results
+// that are deterministic regardless of worker count. The Oracle adapter
+// exposes both the single-query and the batched path to the optimisers
+// in internal/optim.
+package evaluator

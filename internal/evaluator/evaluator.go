@@ -1,13 +1,3 @@
-// Package evaluator implements the paper's core contribution: a quality
-// metric evaluator that answers each query either by running the real
-// simulation (evaluateAccuracy in the paper) or, when enough previously
-// simulated configurations lie within L1 distance d, by kriging them
-// (lines 7-24 of Algorithms 1 and 2).
-//
-// The same component provides the replay protocol used to build Table I:
-// feed the recorded trajectory of a simulation-only optimisation run back
-// through the evaluator and compare every interpolated value against the
-// recorded truth.
 package evaluator
 
 import (
@@ -22,7 +12,11 @@ import (
 
 // Simulator measures the quality metric λ of one configuration by running
 // the full application simulation. It corresponds to the paper's
-// λ = evaluateAccuracy(I, w).
+// λ = evaluateAccuracy(I, w). Implementations must be safe for concurrent
+// use when the evaluator is shared between goroutines or driven through
+// EvaluateAll; all the benchmark simulators in this repository are,
+// because their datapaths derive per-call format sets rather than
+// mutating shared node state.
 type Simulator interface {
 	// Evaluate returns λ(cfg).
 	Evaluate(cfg space.Config) (float64, error)
@@ -74,10 +68,14 @@ type Options struct {
 	DMax float64
 	// Interp is the interpolator; nil selects ordinary kriging with the
 	// Numerical Recipes power variogram over L1 distances, the paper's
-	// setup.
+	// setup. A custom Interp must be safe for concurrent use if the
+	// evaluator is (kriging.Ordinary and kriging.Simple are).
 	Interp kriging.Interpolator
 	// Metric is the neighbour-search distance; the zero value is L1.
 	Metric space.Metric
+	// StoreShards overrides the shard count of the support store; zero
+	// selects store.DefaultShardCount.
+	StoreShards int
 	// Transform, when non-nil, maps λ into the space in which kriging
 	// is performed, and Untransform maps predictions back. The paper
 	// kriges λ = -P directly (identity); the log-domain ablation uses a
@@ -103,6 +101,9 @@ func (o *Options) validate() error {
 	}
 	if o.DMax != 0 && o.DMax < o.D {
 		return fmt.Errorf("%w: DMax %v below D %v", ErrBadOptions, o.DMax, o.D)
+	}
+	if o.StoreShards < 0 {
+		return fmt.Errorf("%w: negative StoreShards %d", ErrBadOptions, o.StoreShards)
 	}
 	if (o.Transform == nil) != (o.Untransform == nil) {
 		return fmt.Errorf("%w: Transform and Untransform must be set together", ErrBadOptions)
@@ -137,63 +138,13 @@ type Result struct {
 	Neighbors int // support size used when interpolated (the paper's j)
 }
 
-// Stats aggregates evaluator activity; it backs the p(%) and j̄ columns of
-// Table I and the live Eq. 2 time model.
-type Stats struct {
-	NSim     int // simulator invocations
-	NInterp  int // kriged evaluations
-	SumNeigh int // total support points over all interpolations
-	// NVarRejected counts interpolations rejected by variance gating.
-	NVarRejected int
-	// SimTime and InterpTime accumulate wall-clock time spent in the
-	// simulator and in kriging respectively.
-	SimTime, InterpTime time.Duration
-}
-
-// Total returns the number of evaluated configurations.
-func (s Stats) Total() int { return s.NSim + s.NInterp }
-
-// PercentInterpolated returns p(%) = 100·NInterp / Total.
-func (s Stats) PercentInterpolated() float64 {
-	t := s.Total()
-	if t == 0 {
-		return 0
-	}
-	return 100 * float64(s.NInterp) / float64(t)
-}
-
-// MeanNeighbors returns j̄, the average support size per interpolation.
-func (s Stats) MeanNeighbors() float64 {
-	if s.NInterp == 0 {
-		return 0
-	}
-	return float64(s.SumNeigh) / float64(s.NInterp)
-}
-
-// EstimatedSpeedup evaluates the Eq. 2 time model on the recorded
-// activity: the ratio of the simulation-only campaign time (Total
-// evaluations at the mean measured simulation cost) to the actual time
-// spent (simulations plus interpolations). It returns 0 until at least
-// one simulation has run.
-func (s Stats) EstimatedSpeedup() float64 {
-	if s.NSim == 0 {
-		return 0
-	}
-	meanSim := float64(s.SimTime) / float64(s.NSim)
-	simOnly := meanSim * float64(s.Total())
-	actual := float64(s.SimTime) + float64(s.InterpTime)
-	if actual == 0 {
-		return 0
-	}
-	return simOnly / actual
-}
-
-// Evaluator is the kriging-accelerated metric evaluator.
+// Evaluator is the kriging-accelerated metric evaluator. It is safe for
+// concurrent use by multiple goroutines.
 type Evaluator struct {
 	sim   Simulator
 	opts  Options
 	store *store.Store
-	stats Stats
+	stats counters
 }
 
 // New builds an Evaluator around a Simulator.
@@ -204,10 +155,14 @@ func New(sim Simulator, opts Options) (*Evaluator, error) {
 	if opts.Interp == nil {
 		opts.Interp = &kriging.Ordinary{} // L1 + power variogram defaults
 	}
+	shards := opts.StoreShards
+	if shards == 0 {
+		shards = store.DefaultShardCount
+	}
 	return &Evaluator{
 		sim:   sim,
 		opts:  opts,
-		store: store.New(opts.Metric),
+		store: store.NewSharded(opts.Metric, shards),
 	}, nil
 }
 
@@ -215,62 +170,84 @@ func New(sim Simulator, opts Options) (*Evaluator, error) {
 // optimisers warm-start Algorithm 2 with the store of Algorithm 1).
 func (e *Evaluator) Store() *store.Store { return e.store }
 
-// Stats returns a copy of the activity counters.
-func (e *Evaluator) Stats() Stats { return e.stats }
+// Stats returns a snapshot of the activity counters. While evaluations
+// are in flight on other goroutines the snapshot is approximate; it is
+// exact once they have returned.
+func (e *Evaluator) Stats() Stats { return e.stats.snapshot() }
 
 // ResetStats zeroes the activity counters without clearing the store.
-func (e *Evaluator) ResetStats() { e.stats = Stats{} }
+func (e *Evaluator) ResetStats() { e.stats.reset() }
 
 // Nv returns the dimensionality of the underlying simulator.
 func (e *Evaluator) Nv() int { return e.sim.Nv() }
 
+// storeView is the read surface shared by the live store and its
+// snapshots; Evaluate decides against the live store, EvaluateAll against
+// a batch-entry snapshot.
+type storeView interface {
+	Lookup(c space.Config) (float64, bool)
+	Neighbors(w space.Config, d float64) *store.Neighborhood
+}
+
 // Evaluate returns λ(cfg), interpolating when the support suffices and
 // simulating otherwise, per lines 7-24 of Algorithms 1-2.
 func (e *Evaluator) Evaluate(cfg space.Config) (Result, error) {
-	// An exact hit in the store costs nothing; reuse it. This situation
-	// arises when the optimiser revisits a configuration.
-	if lam, ok := e.store.Lookup(cfg); ok {
-		return Result{Lambda: lam, Source: Simulated}, nil
-	}
-	if e.opts.D > 0 {
-		nb := e.store.Neighbors(cfg, e.opts.D)
-		// Adaptive neighbourhood: grow the radius in unit steps until
-		// the support suffices or DMax is reached.
-		for d := e.opts.D + 1; nb.Len() <= e.opts.NnMin && d <= e.opts.DMax; d++ {
-			nb = e.store.Neighbors(cfg, d)
-		}
-		if nb.Len() > e.opts.NnMin {
-			nb = nb.NearestK(e.opts.MaxSupport)
-			start := time.Now()
-			lam, err := e.interpolate(nb, cfg)
-			e.stats.InterpTime += time.Since(start)
-			if err == nil {
-				e.stats.NInterp++
-				e.stats.SumNeigh += nb.Len()
-				return Result{Lambda: lam, Source: Interpolated, Neighbors: nb.Len()}, nil
-			}
-			// A degenerate kriging system (or a variance-gate
-			// rejection) falls back to simulation; the paper's flow
-			// has no failure path because its supports are well
-			// spread, but a robust library must not abort the
-			// optimisation run.
-		}
+	if res, ok := e.answerFromStore(e.store, cfg, &e.stats); ok {
+		return res, nil
 	}
 	start := time.Now()
 	lam, err := e.sim.Evaluate(cfg)
-	e.stats.SimTime += time.Since(start)
+	e.stats.simTime.Add(int64(time.Since(start)))
 	if err != nil {
 		return Result{}, fmt.Errorf("evaluator: simulation of %v failed: %w", cfg, err)
 	}
 	e.store.Add(cfg, lam)
-	e.stats.NSim++
+	e.stats.nSim.Add(1)
 	return Result{Lambda: lam, Source: Simulated}, nil
+}
+
+// answerFromStore resolves a query without simulating when possible: an
+// exact store hit costs nothing (the optimiser revisiting a
+// configuration), and a sufficient neighbourhood is kriged. The second
+// return value reports whether an answer was produced. Activity is
+// recorded on stats, which Evaluate points at the live counters and
+// EvaluateAll at a per-batch accumulator committed only on success.
+func (e *Evaluator) answerFromStore(view storeView, cfg space.Config, stats *counters) (Result, bool) {
+	if lam, ok := view.Lookup(cfg); ok {
+		return Result{Lambda: lam, Source: Simulated}, true
+	}
+	if e.opts.D <= 0 {
+		return Result{}, false
+	}
+	nb := view.Neighbors(cfg, e.opts.D)
+	// Adaptive neighbourhood: grow the radius in unit steps until the
+	// support suffices or DMax is reached.
+	for d := e.opts.D + 1; nb.Len() <= e.opts.NnMin && d <= e.opts.DMax; d++ {
+		nb = view.Neighbors(cfg, d)
+	}
+	if nb.Len() <= e.opts.NnMin {
+		return Result{}, false
+	}
+	nb = nb.NearestK(e.opts.MaxSupport)
+	start := time.Now()
+	lam, err := e.interpolate(nb, cfg, stats)
+	stats.interpTime.Add(int64(time.Since(start)))
+	if err != nil {
+		// A degenerate kriging system (or a variance-gate rejection)
+		// falls back to simulation; the paper's flow has no failure path
+		// because its supports are well spread, but a robust library
+		// must not abort the optimisation run.
+		return Result{}, false
+	}
+	stats.nInterp.Add(1)
+	stats.sumNeigh.Add(int64(nb.Len()))
+	return Result{Lambda: lam, Source: Interpolated, Neighbors: nb.Len()}, true
 }
 
 // errVarianceGate marks a variance-gate rejection internally.
 var errVarianceGate = errors.New("evaluator: kriging variance above threshold")
 
-func (e *Evaluator) interpolate(nb *store.Neighborhood, cfg space.Config) (float64, error) {
+func (e *Evaluator) interpolate(nb *store.Neighborhood, cfg space.Config, stats *counters) (float64, error) {
 	ys := nb.Values
 	if e.opts.Transform != nil {
 		ys = make([]float64, len(nb.Values))
@@ -286,7 +263,7 @@ func (e *Evaluator) interpolate(nb *store.Neighborhood, cfg space.Config) (float
 		var variance float64
 		pred, variance, err = vp.PredictVar(nb.Coords, ys, cfg.Floats())
 		if err == nil && variance > e.opts.MaxVariance {
-			e.stats.NVarRejected++
+			stats.nVarRejected.Add(1)
 			return 0, errVarianceGate
 		}
 	} else {

@@ -1,0 +1,59 @@
+package evaluator
+
+import "repro/internal/space"
+
+// Oracle adapts the evaluator to the optimisers' oracle interfaces: the
+// returned value implements both optim.Oracle (single queries) and
+// optim.BatchOracle (batched queries answered by EvaluateAll on up to
+// workers goroutines; zero or negative selects GOMAXPROCS). The min+1
+// competition hands its Nv independent candidates to the batch path, so
+// one greedy round costs one simulation latency instead of Nv.
+//
+// Exactly workers == 1 preserves the classic sequential semantics:
+// EvaluateBatch issues the queries one at a time against the live store,
+// so a later candidate can krige from (or exactly hit) an earlier
+// candidate's fresh simulation, matching the paper's pseudo-code order.
+func (e *Evaluator) Oracle(workers int) *EvaluatorOracle {
+	return &EvaluatorOracle{ev: e, workers: workers}
+}
+
+// EvaluatorOracle is the adapter returned by Evaluator.Oracle.
+type EvaluatorOracle struct {
+	ev      *Evaluator
+	workers int
+}
+
+// Evaluate answers one query, discarding the provenance information.
+func (o *EvaluatorOracle) Evaluate(cfg space.Config) (float64, error) {
+	res, err := o.ev.Evaluate(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return res.Lambda, nil
+}
+
+// EvaluateBatch answers a batch of independent queries, indexed like
+// cfgs: sequentially through Evaluate when workers == 1 (one-at-a-time
+// semantics), through EvaluateAll's snapshot-batch semantics otherwise.
+func (o *EvaluatorOracle) EvaluateBatch(cfgs []space.Config) ([]float64, error) {
+	if o.workers == 1 {
+		lams := make([]float64, len(cfgs))
+		for i, c := range cfgs {
+			lam, err := o.Evaluate(c)
+			if err != nil {
+				return nil, err
+			}
+			lams[i] = lam
+		}
+		return lams, nil
+	}
+	results, err := o.ev.EvaluateAll(cfgs, o.workers)
+	if err != nil {
+		return nil, err
+	}
+	lams := make([]float64, len(results))
+	for i, r := range results {
+		lams[i] = r.Lambda
+	}
+	return lams, nil
+}

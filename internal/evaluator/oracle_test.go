@@ -1,0 +1,74 @@
+package evaluator
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/space"
+)
+
+// errBoom is the synthetic simulator failure used by the batch tests.
+var errBoom = errors.New("boom")
+
+// mkOracleEval builds an evaluator whose store holds one support at
+// {6,6}, so a {5,5} query interpolates only if {4,4} entered the store
+// first — the discriminator between sequential and snapshot semantics.
+func mkOracleEval(t *testing.T) *Evaluator {
+	t.Helper()
+	ev, err := New(&planeSim2{}, Options{D: 3, NnMin: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Store().Add(space.Config{6, 6}, 30)
+	return ev
+}
+
+// TestOracleWorkers1SequentialSemantics checks that Oracle(1) issues
+// batch members one at a time against the live store (later members
+// krige from earlier simulations), while Oracle(n>1) uses the
+// snapshot-batch semantics of EvaluateAll.
+func TestOracleWorkers1SequentialSemantics(t *testing.T) {
+	batch := []space.Config{{4, 4}, {5, 5}}
+
+	seq := mkOracleEval(t)
+	if _, err := seq.Oracle(1).EvaluateBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if st := seq.Stats(); st.NInterp != 1 || st.NSim != 1 {
+		t.Errorf("workers=1: NSim=%d NInterp=%d, want 1 and 1 (second member kriges from the first)", st.NSim, st.NInterp)
+	}
+
+	snap := mkOracleEval(t)
+	if _, err := snap.Oracle(2).EvaluateBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if st := snap.Stats(); st.NInterp != 0 || st.NSim != 2 {
+		t.Errorf("workers=2: NSim=%d NInterp=%d, want 2 and 0 (members invisible to each other)", st.NSim, st.NInterp)
+	}
+}
+
+// TestEvaluateAllFailedBatchLeavesStatsClean checks that a discarded
+// batch commits neither store entries nor activity counters, keeping the
+// Eq. 2 accounting consistent with delivered results.
+func TestEvaluateAllFailedBatchLeavesStatsClean(t *testing.T) {
+	boom := func(cfg space.Config) (float64, error) {
+		if cfg[0] == 1 {
+			return 0, errBoom
+		}
+		return 1, nil
+	}
+	ev, err := New(SimulatorFunc{NumVars: 1, Fn: boom}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.EvaluateAll([]space.Config{{0}, {1}, {2}}, 2); err == nil {
+		t.Fatal("expected batch failure")
+	}
+	st := ev.Stats()
+	if st.NSim != 0 || st.SimTime != 0 || st.NInterp != 0 {
+		t.Errorf("failed batch leaked stats: %+v", st)
+	}
+	if ev.Store().Len() != 0 {
+		t.Errorf("failed batch leaked %d store entries", ev.Store().Len())
+	}
+}

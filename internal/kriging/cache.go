@@ -1,0 +1,163 @@
+package kriging
+
+import (
+	"container/list"
+	"math"
+	"sync"
+
+	"repro/internal/fnv1a"
+	"repro/internal/variogram"
+)
+
+// DefaultCacheSize is the factored-system cache capacity selected when an
+// interpolator's CacheSize field is zero.
+const DefaultCacheSize = 128
+
+// factored is a reusable kriging system: the variogram model identified
+// on a support set together with the factorisation of the assembled
+// matrix. Building one costs O(n³); reusing it answers further queries on
+// the same support in O(n²) (assemble the right-hand side, two triangular
+// solves). The min+1 competition is the motivating workload: its Nv
+// sibling candidates share one incumbent's neighbourhood, so all but the
+// first prediction hit the cache.
+type factored struct {
+	model variogram.Model
+	solve func(b []float64) ([]float64, error)
+	// sill is the covariance ceiling of a simple-kriging system; unused
+	// (zero) for the ordinary saddle system.
+	sill float64
+	// cholesky records whether the system was factored by Cholesky
+	// (symmetric positive definite covariance form) or fell back to LU
+	// (the indefinite ordinary-kriging saddle matrix).
+	cholesky bool
+}
+
+// cacheRecord is one LRU slot: the fingerprint key plus defensive copies
+// of the support used to rule out fingerprint collisions on hit.
+type cacheRecord struct {
+	key uint64
+	xs  [][]float64
+	ys  []float64
+	sys *factored
+}
+
+// systemCache is a mutex-guarded LRU map from support fingerprints to
+// factored systems. It is shared by concurrent predictions; the lock is
+// held only for the map/list bookkeeping, never during factorisation.
+type systemCache struct {
+	mu    sync.Mutex
+	cap   int
+	items map[uint64]*list.Element
+	order *list.List // front = most recently used
+}
+
+func newSystemCache(capacity int) *systemCache {
+	return &systemCache{
+		cap:   capacity,
+		items: make(map[uint64]*list.Element, capacity),
+		order: list.New(),
+	}
+}
+
+// get returns the cached system for the support, verifying the actual
+// coordinates and values so a fingerprint collision can never hand back
+// the wrong factorisation.
+func (c *systemCache) get(key uint64, xs [][]float64, ys []float64) (*factored, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	rec := el.Value.(*cacheRecord)
+	if !supportEqual(rec.xs, rec.ys, xs, ys) {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return rec.sys, true
+}
+
+// add inserts a freshly factored system, evicting the least recently used
+// slot when full. The support slices are copied: neighbourhood buffers
+// may be reused by callers between queries.
+func (c *systemCache) add(key uint64, xs [][]float64, ys []float64, sys *factored) {
+	xsCopy := make([][]float64, len(xs))
+	for i, x := range xs {
+		xsCopy[i] = append([]float64(nil), x...)
+	}
+	rec := &cacheRecord{key: key, xs: xsCopy, ys: append([]float64(nil), ys...), sys: sys}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value = rec
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(rec)
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*cacheRecord).key)
+	}
+}
+
+// len reports the current number of cached systems.
+func (c *systemCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// supportFingerprint hashes a support set (coordinates and values) with
+// 64-bit FNV-1a over the raw float bits.
+func supportFingerprint(xs [][]float64, ys []float64) uint64 {
+	h := fnv1a.Mix(fnv1a.Offset, uint64(len(xs)))
+	for _, x := range xs {
+		h = fnv1a.Mix(h, uint64(len(x)))
+		for _, v := range x {
+			h = fnv1a.Mix(h, math.Float64bits(v))
+		}
+	}
+	for _, v := range ys {
+		h = fnv1a.Mix(h, math.Float64bits(v))
+	}
+	return h
+}
+
+// supportEqual reports whether two support sets are bit-identical.
+func supportEqual(axs [][]float64, ays []float64, bxs [][]float64, bys []float64) bool {
+	if len(axs) != len(bxs) || len(ays) != len(bys) {
+		return false
+	}
+	for i, ax := range axs {
+		bx := bxs[i]
+		if len(ax) != len(bx) {
+			return false
+		}
+		for j, v := range ax {
+			if math.Float64bits(v) != math.Float64bits(bx[j]) {
+				return false
+			}
+		}
+	}
+	for i, v := range ays {
+		if math.Float64bits(v) != math.Float64bits(bys[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// resolveCache interprets the shared CacheSize convention: zero selects
+// DefaultCacheSize, negative disables caching.
+func resolveCache(once *sync.Once, cache **systemCache, size int) *systemCache {
+	once.Do(func() {
+		if size >= 0 {
+			if size == 0 {
+				size = DefaultCacheSize
+			}
+			*cache = newSystemCache(size)
+		}
+	})
+	return *cache
+}

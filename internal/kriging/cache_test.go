@@ -1,0 +1,177 @@
+package kriging
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/variogram"
+)
+
+// support4 is a small 2-D support with a smooth field.
+func support4() ([][]float64, []float64) {
+	xs := [][]float64{{0, 0}, {0, 4}, {4, 0}, {4, 4}}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x[0] + 2*x[1]
+	}
+	return xs, ys
+}
+
+// TestCachedOrdinaryMatchesUncached demands bit-identical predictions
+// between a caching and a non-caching Ordinary across repeated queries on
+// a shared support.
+func TestCachedOrdinaryMatchesUncached(t *testing.T) {
+	xs, ys := support4()
+	cached := &Ordinary{}             // default cache
+	uncached := &Ordinary{CacheSize: -1}
+	queries := [][]float64{{1, 1}, {2, 3}, {3.5, 0.5}, {1, 1}, {2, 3}}
+	for _, q := range queries {
+		v1, var1, err1 := cached.PredictVar(xs, ys, q)
+		v2, var2, err2 := uncached.PredictVar(xs, ys, q)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("error mismatch at %v: %v vs %v", q, err1, err2)
+		}
+		if math.Float64bits(v1) != math.Float64bits(v2) || math.Float64bits(var1) != math.Float64bits(var2) {
+			t.Errorf("query %v: cached (%v, %v) != uncached (%v, %v)", q, v1, var1, v2, var2)
+		}
+	}
+	if cached.cache == nil || cached.cache.len() != 1 {
+		t.Errorf("expected exactly one cached system, have %+v", cached.cache)
+	}
+}
+
+// TestCachedSimpleMatchesUncached does the same for simple kriging and
+// checks that a bounded model's positive definite covariance system was
+// factored by Cholesky.
+func TestCachedSimpleMatchesUncached(t *testing.T) {
+	xs, ys := support4()
+	model := &variogram.ExponentialModel{Sill: 40, Range: 3}
+	cached := &Simple{Model: model}
+	uncached := &Simple{Model: model, CacheSize: -1}
+	for _, q := range [][]float64{{1, 1}, {2, 2}, {1, 1}} {
+		v1, err1 := cached.Predict(xs, ys, q)
+		v2, err2 := uncached.Predict(xs, ys, q)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("error mismatch at %v: %v vs %v", q, err1, err2)
+		}
+		if math.Float64bits(v1) != math.Float64bits(v2) {
+			t.Errorf("query %v: cached %v != uncached %v", q, v1, v2)
+		}
+	}
+	sys, err := cached.system(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.cholesky {
+		t.Error("simple-kriging covariance system did not take the Cholesky path")
+	}
+}
+
+// TestCacheDistinguishesSupports verifies that changing either the
+// coordinates or the values reaches a different cached system.
+func TestCacheDistinguishesSupports(t *testing.T) {
+	o := &Ordinary{}
+	xs, ys := support4()
+	if _, err := o.Predict(xs, ys, []float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	ys2 := append([]float64(nil), ys...)
+	ys2[0] += 5
+	v1, err := o.Predict(xs, ys, []float64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := o.Predict(xs, ys2, []float64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 == v2 {
+		t.Error("different support values produced the same prediction (stale cache hit?)")
+	}
+	if o.cache.len() != 2 {
+		t.Errorf("cache holds %d systems, want 2", o.cache.len())
+	}
+}
+
+// TestCacheEviction fills a tiny cache past capacity and checks the LRU
+// bound holds while predictions stay correct.
+func TestCacheEviction(t *testing.T) {
+	o := &Ordinary{CacheSize: 2}
+	for i := 0; i < 5; i++ {
+		xs := [][]float64{{float64(i), 0}, {float64(i), 4}, {float64(i) + 4, 0}, {float64(i) + 4, 4}}
+		ys := make([]float64, len(xs))
+		for j, x := range xs {
+			ys[j] = x[0] + x[1]
+		}
+		got, err := o.Predict(xs, ys, []float64{float64(i) + 2, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-(float64(i)+4)) > 0.8 {
+			t.Errorf("round %d: prediction %v strayed from plane value %v", i, got, float64(i)+4)
+		}
+	}
+	if got := o.cache.len(); got > 2 {
+		t.Errorf("cache grew to %d systems, cap 2", got)
+	}
+}
+
+// TestCacheConcurrentPredict hammers one caching interpolator from many
+// goroutines over a handful of supports; run with -race.
+func TestCacheConcurrentPredict(t *testing.T) {
+	o := &Ordinary{CacheSize: 4}
+	xs, ys := support4()
+	xsB := [][]float64{{0, 0}, {0, 6}, {6, 0}, {6, 6}}
+	ysB := []float64{0, 12, 18, 30}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				q := []float64{float64(g%5) + 0.5, float64(i%5) + 0.5}
+				var err error
+				if g%2 == 0 {
+					_, err = o.Predict(xs, ys, q)
+				} else {
+					_, err = o.Predict(xsB, ysB, q)
+				}
+				if err != nil {
+					t.Errorf("g=%d i=%d: %v", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// BenchmarkOrdinaryPredict measures repeated predictions over one shared
+// support, the min+1 competition access pattern, with and without the
+// factored-system cache.
+func BenchmarkOrdinaryPredict(b *testing.B) {
+	n := 20
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = []float64{float64(i % 5), float64(i / 5)}
+		ys[i] = 3*xs[i][0] + 2*xs[i][1]
+	}
+	for _, tc := range []struct {
+		name string
+		o    *Ordinary
+	}{
+		{"cached", &Ordinary{}},
+		{"uncached", &Ordinary{CacheSize: -1}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := []float64{float64(i%4) + 0.5, float64(i%3) + 0.5}
+				if _, err := tc.o.Predict(xs, ys, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,24 @@
+// Package kriging implements the geostatistical interpolators at the heart
+// of the paper: ordinary kriging exactly as written in Eqs. 7-10 (the
+// (N+1)×(N+1) system with a Lagrange row enforcing the unbiasedness
+// constraint of Eq. 6), simple kriging, universal kriging, and the
+// inverse-distance and nearest-neighbour baselines used by the ablation
+// benches.
+//
+// # Factored-system caching
+//
+// Building a kriging system for n support points costs O(n³): fit a
+// semivariogram, assemble the matrix, factorise. The interpolators cache
+// the factored system keyed by the exact support (coordinates and
+// values), so every further prediction over the same neighbourhood —
+// the min+1 competition's sibling candidates, leave-one-out cross
+// validation, batch evaluation — reuses the factors and pays only the
+// O(n²) right-hand-side assembly and triangular solves. Positive
+// definite covariance systems (simple kriging with a bounded model)
+// factor by Cholesky; the ordinary-kriging saddle matrix of Eq. 9 is
+// symmetric indefinite and takes pivoted LU. Cached and uncached
+// predictions are bit-identical; set CacheSize to -1 to disable.
+//
+// The interpolators are safe for concurrent use: the cache is the only
+// mutable state and it is mutex-guarded.
+package kriging

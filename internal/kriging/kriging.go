@@ -1,14 +1,10 @@
-// Package kriging implements the geostatistical interpolators at the heart
-// of the paper: ordinary kriging exactly as written in Eqs. 7-10 (the
-// (N+1)×(N+1) system with a Lagrange row enforcing the unbiasedness
-// constraint of Eq. 6), simple kriging, and the inverse-distance and
-// nearest-neighbour baselines used by the ablation benches.
 package kriging
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/linalg"
 	"repro/internal/variogram"
@@ -82,6 +78,20 @@ type Ordinary struct {
 	// regularise nearly-coincident supports. Zero selects a tiny
 	// scale-relative default.
 	Nugget float64
+	// CacheSize bounds the factored-system cache: repeated predictions
+	// over the same support (the min+1 competition, leave-one-out cross
+	// validation, batch evaluation) reuse the fitted variogram and the
+	// LU factors of Γ, dropping the per-query cost from O(n³) to O(n²).
+	// Zero selects DefaultCacheSize; a negative value disables caching.
+	// The cached results are bit-identical to the uncached path. The
+	// cache keys on the support alone, so configuration fields (Dist,
+	// Model, FitKind, PowerBeta, Nugget, CacheSize) must not be mutated
+	// after the first prediction — build a fresh interpolator per
+	// configuration instead.
+	CacheSize int
+
+	cacheOnce sync.Once
+	cache     *systemCache
 }
 
 // Name implements Interpolator.
@@ -130,12 +140,54 @@ func (o *Ordinary) PredictVar(xs [][]float64, ys []float64, x []float64) (value,
 		// μ_0 = 1, so the prediction is that value.
 		return ys[0], 0, nil
 	}
-	dist := o.dist()
-	model, err := o.model(xs, ys)
+	sys, err := o.system(xs, ys)
 	if err != nil {
 		return 0, 0, err
 	}
+	dist := o.dist()
+	// Right-hand side γ_i of Eq. 8 augmented with the constraint 1.
+	rhs := make([]float64, n+1)
+	for k := 0; k < n; k++ {
+		rhs[k] = sys.model.Gamma(dist(x, xs[k]))
+	}
+	rhs[n] = 1
+	// Weights μ and Lagrange multiplier m: Γ·(μ, m) = (γ_i, 1).
+	w, err := sys.solve(rhs)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: %v", ErrDegenerate, err)
+	}
+	var val, varEst float64
+	for k := 0; k < n; k++ {
+		val += w[k] * ys[k]
+		varEst += w[k] * rhs[k]
+	}
+	varEst += w[n] // + Lagrange multiplier
+	if varEst < 0 {
+		varEst = 0
+	}
+	if math.IsNaN(val) || math.IsInf(val, 0) {
+		return 0, 0, ErrDegenerate
+	}
+	return val, varEst, nil
+}
 
+// system returns the factored Eq. 9 saddle system for a support set,
+// reusing a cached factorisation when the same support was seen recently.
+func (o *Ordinary) system(xs [][]float64, ys []float64) (*factored, error) {
+	cache := resolveCache(&o.cacheOnce, &o.cache, o.CacheSize)
+	var key uint64
+	if cache != nil {
+		key = supportFingerprint(xs, ys)
+		if sys, ok := cache.get(key, xs, ys); ok {
+			return sys, nil
+		}
+	}
+	model, err := o.model(xs, ys)
+	if err != nil {
+		return nil, err
+	}
+	n := len(xs)
+	dist := o.dist()
 	// Assemble the (n+1)×(n+1) system of Eq. 9.
 	g := linalg.NewMatrix(n+1, n+1)
 	var scale float64
@@ -161,36 +213,18 @@ func (o *Ordinary) PredictVar(xs [][]float64, ys []float64, x []float64) (value,
 	for j := 0; j < n; j++ {
 		g.Set(j, j, nug+jitter)
 	}
-
-	// Right-hand side γ_i of Eq. 8 augmented with the constraint 1.
-	rhs := make([]float64, n+1)
-	for k := 0; k < n; k++ {
-		rhs[k] = model.Gamma(dist(x, xs[k]))
-	}
-	rhs[n] = 1
-
+	// The saddle structure of Eq. 9 (zero Lagrange corner) is symmetric
+	// indefinite, so it takes the pivoted-LU path; the positive definite
+	// covariance systems of simple kriging go through Cholesky instead.
 	f, err := linalg.Factorize(g)
 	if err != nil {
-		return 0, 0, fmt.Errorf("%w: %v", ErrDegenerate, err)
+		return nil, fmt.Errorf("%w: %v", ErrDegenerate, err)
 	}
-	// Weights μ and Lagrange multiplier m: Γ·(μ, m) = (γ_i, 1).
-	w, err := f.Solve(rhs)
-	if err != nil {
-		return 0, 0, fmt.Errorf("%w: %v", ErrDegenerate, err)
+	sys := &factored{model: model, solve: f.Solve}
+	if cache != nil {
+		cache.add(key, xs, ys, sys)
 	}
-	var val, varEst float64
-	for k := 0; k < n; k++ {
-		val += w[k] * ys[k]
-		varEst += w[k] * rhs[k]
-	}
-	varEst += w[n] // + Lagrange multiplier
-	if varEst < 0 {
-		varEst = 0
-	}
-	if math.IsNaN(val) || math.IsInf(val, 0) {
-		return 0, 0, ErrDegenerate
-	}
-	return val, varEst, nil
+	return sys, nil
 }
 
 // Weights exposes the kriging weights μ_k (and the Lagrange multiplier as
@@ -204,32 +238,15 @@ func (o *Ordinary) Weights(xs [][]float64, ys []float64, x []float64) ([]float64
 	if n == 1 {
 		return []float64{1, 0}, nil
 	}
-	dist := o.dist()
-	model, err := o.model(xs, ys)
+	sys, err := o.system(xs, ys)
 	if err != nil {
 		return nil, err
 	}
-	g := linalg.NewMatrix(n+1, n+1)
-	var scale float64
-	for j := 0; j < n; j++ {
-		for k := j + 1; k < n; k++ {
-			gv := model.Gamma(dist(xs[j], xs[k]))
-			g.Set(j, k, gv)
-			g.Set(k, j, gv)
-			if gv > scale {
-				scale = gv
-			}
-		}
-	}
-	for j := 0; j < n; j++ {
-		g.Set(j, n, 1)
-		g.Set(n, j, 1)
-		g.Set(j, j, o.Nugget+1e-12*(scale+1))
-	}
+	dist := o.dist()
 	rhs := make([]float64, n+1)
 	for k := 0; k < n; k++ {
-		rhs[k] = model.Gamma(dist(x, xs[k]))
+		rhs[k] = sys.model.Gamma(dist(x, xs[k]))
 	}
 	rhs[n] = 1
-	return linalg.Solve(g, rhs)
+	return sys.solve(rhs)
 }

@@ -3,6 +3,7 @@ package kriging
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/linalg"
 	"repro/internal/variogram"
@@ -16,7 +17,11 @@ import (
 //
 // with weights from the covariance system C·μ = c. Covariances are
 // derived from the fitted semivariogram via C(h) = sill - γ(h), taking
-// the largest observed semivariance as the sill.
+// the largest semivariance observed across the support separations as the
+// sill (query covariances below that ceiling are clamped at zero). The
+// support-only sill makes C a function of the support alone, so its
+// Cholesky factorisation is cached and reused across predictions that
+// share a neighbourhood.
 type Simple struct {
 	// Dist is the separation measure; nil means L1.
 	Dist Distance
@@ -31,6 +36,18 @@ type Simple struct {
 	KnownMean bool
 	// Nugget regularises the covariance diagonal.
 	Nugget float64
+	// CacheSize bounds the factored-system cache; zero selects
+	// DefaultCacheSize, negative disables caching. The covariance matrix
+	// is symmetric positive definite, so cached systems hold its
+	// Cholesky factor (linalg.FactorizeCholesky), with a pivoted-LU
+	// fallback for supports that defeat the truncated-covariance model.
+	// As with Ordinary, the cache keys on the support alone:
+	// configuration fields must not be mutated after the first
+	// prediction.
+	CacheSize int
+
+	cacheOnce sync.Once
+	cache     *systemCache
 }
 
 // Name implements Interpolator.
@@ -63,46 +80,27 @@ func (s *Simple) Predict(xs [][]float64, ys []float64, x []float64) (float64, er
 	if n == 1 {
 		return ys[0], nil
 	}
-	dist := s.dist()
-	model := s.Model
-	if model == nil {
-		m, err := variogram.FitSamples(s.FitKind, xs, ys, dist, s.Nugget)
-		if err != nil {
-			return 0, err
-		}
-		model = m
+	sys, err := s.system(xs, ys)
+	if err != nil {
+		return 0, err
 	}
-	// Sill: the largest semivariance across support separations and the
-	// query separations, so every covariance stays non-negative.
-	var sill float64
-	for j := 0; j < n; j++ {
-		if g := model.Gamma(dist(x, xs[j])); g > sill {
-			sill = g
-		}
-		for k := j + 1; k < n; k++ {
-			if g := model.Gamma(dist(xs[j], xs[k])); g > sill {
-				sill = g
-			}
-		}
-	}
-	if sill == 0 {
+	if sys.sill == 0 {
 		// Flat field: every support value equals the mean.
 		return mean, nil
 	}
-	c := linalg.NewMatrix(n, n)
-	for j := 0; j < n; j++ {
-		c.Set(j, j, sill-model.Gamma(0)+1e-12*sill+s.Nugget)
-		for k := j + 1; k < n; k++ {
-			cv := sill - model.Gamma(dist(xs[j], xs[k]))
-			c.Set(j, k, cv)
-			c.Set(k, j, cv)
-		}
-	}
+	dist := s.dist()
 	rhs := make([]float64, n)
 	for k := 0; k < n; k++ {
-		rhs[k] = sill - model.Gamma(dist(x, xs[k]))
+		// Clamp: a query farther out than every support separation would
+		// otherwise produce a negative covariance under the truncated
+		// sill.
+		cv := sys.sill - sys.model.Gamma(dist(x, xs[k]))
+		if cv < 0 {
+			cv = 0
+		}
+		rhs[k] = cv
 	}
-	w, err := linalg.Solve(c, rhs)
+	w, err := sys.solve(rhs)
 	if err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrDegenerate, err)
 	}
@@ -114,4 +112,94 @@ func (s *Simple) Predict(xs [][]float64, ys []float64, x []float64) (float64, er
 		return 0, ErrDegenerate
 	}
 	return val, nil
+}
+
+// system returns the factored covariance system C = sill - Γ for a
+// support set, reusing a cached Cholesky (or fallback LU) factorisation
+// when the same support was seen recently.
+func (s *Simple) system(xs [][]float64, ys []float64) (*factored, error) {
+	cache := resolveCache(&s.cacheOnce, &s.cache, s.CacheSize)
+	var key uint64
+	if cache != nil {
+		key = supportFingerprint(xs, ys)
+		if sys, ok := cache.get(key, xs, ys); ok {
+			return sys, nil
+		}
+	}
+	dist := s.dist()
+	model := s.Model
+	if model == nil {
+		m, err := variogram.FitSamples(s.FitKind, xs, ys, dist, s.Nugget)
+		if err != nil {
+			return nil, err
+		}
+		model = m
+	}
+	n := len(xs)
+	// Sill: bounded models expose their true plateau, which makes
+	// C(h) = sill - γ(h) the genuine (positive definite) covariance of
+	// the model; unbounded models (power, linear) fall back to the
+	// largest semivariance across the support separations, which keeps
+	// every matrix covariance non-negative while letting the system
+	// depend on the support alone.
+	sill, bounded := modelPlateau(model)
+	if !bounded {
+		for j := 0; j < n; j++ {
+			for k := j + 1; k < n; k++ {
+				if g := model.Gamma(dist(xs[j], xs[k])); g > sill {
+					sill = g
+				}
+			}
+		}
+	}
+	sys := &factored{model: model, sill: sill}
+	if sill == 0 {
+		// Flat field; Predict answers with the mean without solving.
+		if cache != nil {
+			cache.add(key, xs, ys, sys)
+		}
+		return sys, nil
+	}
+	c := linalg.NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		c.Set(j, j, sill-model.Gamma(0)+1e-12*sill+s.Nugget)
+		for k := j + 1; k < n; k++ {
+			cv := sill - model.Gamma(dist(xs[j], xs[k]))
+			c.Set(j, k, cv)
+			c.Set(k, j, cv)
+		}
+	}
+	// The covariance form is symmetric positive definite, so Cholesky is
+	// the natural factorisation; a truncated-sill support can defeat
+	// positive definiteness, in which case pivoted LU still solves the
+	// (symmetric indefinite) system.
+	if chol, err := linalg.FactorizeCholesky(c); err == nil {
+		sys.solve = chol.Solve
+		sys.cholesky = true
+	} else {
+		f, err := linalg.Factorize(c)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrDegenerate, err)
+		}
+		sys.solve = f.Solve
+	}
+	if cache != nil {
+		cache.add(key, xs, ys, sys)
+	}
+	return sys, nil
+}
+
+// modelPlateau returns the total plateau (sill + nugget) of a bounded
+// semivariogram model, or ok=false for unbounded families.
+func modelPlateau(m variogram.Model) (plateau float64, ok bool) {
+	switch t := m.(type) {
+	case *variogram.SphericalModel:
+		return t.Sill + t.Nugget, true
+	case *variogram.ExponentialModel:
+		return t.Sill + t.Nugget, true
+	case *variogram.GaussianModel:
+		return t.Sill + t.Nugget, true
+	default:
+		return 0, false
+	}
 }

@@ -1,0 +1,73 @@
+package optim
+
+import (
+	"testing"
+
+	"repro/internal/space"
+)
+
+// recordingBatchOracle wraps an analytic field and serves both the single
+// and the batched oracle interface, counting batch calls.
+type recordingBatchOracle struct {
+	fn         func(cfg space.Config) float64
+	batchCalls int
+	evals      int
+}
+
+func (o *recordingBatchOracle) Evaluate(cfg space.Config) (float64, error) {
+	o.evals++
+	return o.fn(cfg), nil
+}
+
+func (o *recordingBatchOracle) EvaluateBatch(cfgs []space.Config) ([]float64, error) {
+	o.batchCalls++
+	out := make([]float64, len(cfgs))
+	for i, c := range cfgs {
+		o.evals++
+		out[i] = o.fn(c)
+	}
+	return out, nil
+}
+
+// TestMinPlusOneBatchOracleMatchesSequential demands that routing the
+// greedy competition through EvaluateBatch changes neither the result nor
+// the evaluation count.
+func TestMinPlusOneBatchOracleMatchesSequential(t *testing.T) {
+	field := func(cfg space.Config) float64 {
+		var p float64
+		for _, w := range cfg {
+			q := 1.0
+			for b := 0; b < w; b++ {
+				q /= 2
+			}
+			p += q
+		}
+		return -p
+	}
+	opts := MinPlusOneOptions{
+		LambdaMin: -0.001,
+		Bounds:    space.Bounds{Lo: space.Config{1, 1, 1}, Hi: space.Config{16, 16, 16}},
+	}
+	seqOracle := OracleFunc(func(cfg space.Config) (float64, error) { return field(cfg), nil })
+	seq, err := MinPlusOne(seqOracle, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bo := &recordingBatchOracle{fn: field}
+	bat, err := MinPlusOne(bo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bat.WRes.Equal(seq.WRes) || !bat.WMin.Equal(seq.WMin) {
+		t.Errorf("batch result %v/%v != sequential %v/%v", bat.WMin, bat.WRes, seq.WMin, seq.WRes)
+	}
+	if bat.Lambda != seq.Lambda {
+		t.Errorf("batch λ %v != sequential %v", bat.Lambda, seq.Lambda)
+	}
+	if bat.Evaluations != seq.Evaluations {
+		t.Errorf("batch evaluations %d != sequential %d", bat.Evaluations, seq.Evaluations)
+	}
+	if bo.batchCalls == 0 {
+		t.Error("batch oracle was never used for the competition")
+	}
+}

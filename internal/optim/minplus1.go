@@ -29,6 +29,20 @@ type OracleFunc func(cfg space.Config) (float64, error)
 // Evaluate implements Oracle.
 func (f OracleFunc) Evaluate(cfg space.Config) (float64, error) { return f(cfg) }
 
+// BatchOracle is an Oracle that can answer several independent queries as
+// one batch — the kriging evaluator's EvaluateAll satisfies it through an
+// adapter. The min+1 competition (Algorithm 2 lines 4-26) hands the Nv
+// single-bit increments of one incumbent to EvaluateBatch when the oracle
+// supports it, so the candidate simulations run on all cores. Results
+// must be indexed like the input and the batch must be equivalent to
+// evaluating the queries one at a time without using one batch member as
+// kriging support for another (see evaluator.EvaluateAll).
+type BatchOracle interface {
+	Oracle
+	// EvaluateBatch returns λ for each configuration, indexed like cfgs.
+	EvaluateBatch(cfgs []space.Config) ([]float64, error)
+}
+
 // ErrInfeasible is returned when no configuration within bounds satisfies
 // the accuracy constraint.
 var ErrInfeasible = errors.New("optim: accuracy constraint unreachable within bounds")
@@ -152,28 +166,58 @@ func greedyRefine(oracle Oracle, opts MinPlusOneOptions, wmin space.Config) (spa
 		}
 		maxIter *= 2
 	}
+	batch, _ := oracle.(BatchOracle)
 	for iter := 0; lam < opts.LambdaMin; iter++ {
 		if iter >= maxIter {
 			return nil, 0, nEval, fmt.Errorf("optim: greedy phase exceeded %d iterations", maxIter)
 		}
-		bestVar := -1
-		bestLam := 0.0
+		// The round's competition: one single-bit increment per variable
+		// not yet at Nmax.
+		vars := make([]int, 0, nv)
+		cands := make([]space.Config, 0, nv)
 		for i := 0; i < nv; i++ {
 			if wres[i] >= opts.Bounds.Hi[i] {
 				continue // already at Nmax
 			}
-			w := wres.With(i, wres[i]+1)
-			li, err := oracle.Evaluate(w)
-			nEval++
-			if err != nil {
-				return nil, 0, nEval, fmt.Errorf("optim: phase 2 evaluation of %v: %w", w, err)
-			}
-			if bestVar == -1 || li > bestLam {
-				bestVar, bestLam = i, li
-			}
+			vars = append(vars, i)
+			cands = append(cands, wres.With(i, wres[i]+1))
 		}
-		if bestVar == -1 {
+		if len(vars) == 0 {
 			return nil, 0, nEval, ErrInfeasible
+		}
+		bestVar := -1
+		bestLam := 0.0
+		if batch != nil && len(cands) > 1 {
+			// The candidates are independent by construction, so a
+			// batch-capable oracle evaluates the whole competition in
+			// parallel; ties keep the lowest variable index, exactly as
+			// in the sequential scan.
+			lams, err := batch.EvaluateBatch(cands)
+			if err != nil {
+				// The run aborts here. How much of the round actually
+				// executed depends on the oracle (a snapshot batch is
+				// discarded whole; the sequential workers==1 adapter may
+				// have committed a prefix), so the failed round is left
+				// out of the evaluation count rather than guessed at.
+				return nil, 0, nEval, fmt.Errorf("optim: phase 2 batch evaluation: %w", err)
+			}
+			nEval += len(cands)
+			for j, li := range lams {
+				if bestVar == -1 || li > bestLam {
+					bestVar, bestLam = vars[j], li
+				}
+			}
+		} else {
+			for j, w := range cands {
+				li, err := oracle.Evaluate(w)
+				nEval++
+				if err != nil {
+					return nil, 0, nEval, fmt.Errorf("optim: phase 2 evaluation of %v: %w", w, err)
+				}
+				if bestVar == -1 || li > bestLam {
+					bestVar, bestLam = vars[j], li
+				}
+			}
 		}
 		wres = wres.With(bestVar, wres[bestVar]+1)
 		lam = bestLam

@@ -1,0 +1,19 @@
+// Package store implements the (Wsim, λsim) memory of Algorithms 1-2: the
+// matrix of already-simulated configurations and their measured metric
+// values, with the L1 radius queries that collect the kriging support of
+// a new configuration.
+//
+// The store is safe for concurrent use. Internally it hashes
+// configurations across a fixed set of shards; each shard publishes an
+// immutable copy-on-write state through an atomic pointer, so Lookup,
+// Neighbors and the other read paths never take a lock — writers
+// serialise per shard only. A monotone sequence number stamped on every
+// entry preserves the global insertion order the sequential pseudo-code
+// relies on (neighbourhoods, Entries and AllSamples are always reported
+// oldest-first, so NearestK tie-breaking stays deterministic).
+//
+// Snapshot freezes the current contents in O(shards): the batch
+// evaluator uses it to make all interpolation decisions of one batch
+// against the store as it stood on entry, regardless of concurrent
+// writers.
+package store

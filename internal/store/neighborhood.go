@@ -1,0 +1,58 @@
+package store
+
+import "sort"
+
+// Neighborhood is the kriging support collected for one query: parallel
+// slices of float coordinates and metric values, mirroring the paper's
+// Wtmp / λtmp accumulators. The coordinate slices alias the store's
+// internal precomputed coordinates and must be treated as read-only.
+type Neighborhood struct {
+	Coords [][]float64
+	Values []float64
+	// Dists holds the distance of each support point to the query.
+	Dists []float64
+}
+
+// Len returns the number of support points (Nn).
+func (nb *Neighborhood) Len() int { return len(nb.Values) }
+
+// NearestK returns the k closest support points (ties kept in insertion
+// order), or the whole neighbourhood when k <= 0 or k >= Len. Capping the
+// kriging support at the nearest points is the standard way to keep the
+// Γ system small and well conditioned (Numerical Recipes recommends
+// "order 20 or fewer" supports).
+func (nb *Neighborhood) NearestK(k int) *Neighborhood {
+	if k <= 0 || k >= nb.Len() {
+		return nb
+	}
+	idx := make([]int, nb.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	// Stable selection by distance: insertion order breaks ties, keeping
+	// the result deterministic.
+	sort.SliceStable(idx, func(a, b int) bool { return nb.Dists[idx[a]] < nb.Dists[idx[b]] })
+	out := &Neighborhood{}
+	for _, i := range idx[:k] {
+		out.Coords = append(out.Coords, nb.Coords[i])
+		out.Values = append(out.Values, nb.Values[i])
+		out.Dists = append(out.Dists, nb.Dists[i])
+	}
+	return out
+}
+
+// WithoutZeroDistance returns a copy of the neighbourhood with the
+// zero-distance entries removed (used to exclude the query point itself
+// from leave-one-out style supports).
+func (nb *Neighborhood) WithoutZeroDistance() *Neighborhood {
+	out := &Neighborhood{}
+	for i, d := range nb.Dists {
+		if d == 0 {
+			continue
+		}
+		out.Coords = append(out.Coords, nb.Coords[i])
+		out.Values = append(out.Values, nb.Values[i])
+		out.Dists = append(out.Dists, d)
+	}
+	return out
+}

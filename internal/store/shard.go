@@ -1,0 +1,139 @@
+package store
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fnv1a"
+	"repro/internal/space"
+)
+
+// DefaultShardCount is the number of shards used by New. Sixteen shards
+// keep writer contention negligible up to the worker counts the batch
+// evaluator runs (GOMAXPROCS on typical machines) while keeping the
+// per-query shard sweep cheap.
+const DefaultShardCount = 16
+
+// shardEntry is one stored configuration inside a shard state. The float
+// coordinates are precomputed at insertion so radius scans hand the
+// kriging support out without per-query conversion or allocation; the
+// sequence number recovers the global insertion order across shards.
+type shardEntry struct {
+	cfg    space.Config
+	coords []float64
+	lambda float64
+	seq    uint64
+}
+
+// shardState is an immutable snapshot of one shard. Writers build a new
+// state (copy + mutation) and publish it atomically; readers load the
+// pointer and scan without synchronisation.
+type shardState struct {
+	entries []shardEntry
+	index   map[string]int // config key -> entries index
+}
+
+var emptyShardState = &shardState{index: map[string]int{}}
+
+// shard pairs the published state with the writer lock that serialises
+// copy-on-write updates.
+type shard struct {
+	mu    sync.Mutex
+	state atomic.Pointer[shardState]
+}
+
+// withEntry returns a copy of the state with (cfg, lambda, seq) inserted,
+// or with the existing entry's value overwritten when cfg is present.
+// key must be cfg.Key() (precomputed by the caller for shard selection).
+func (st *shardState) withEntry(key string, cfg space.Config, lambda float64, seq uint64) (next *shardState, added bool) {
+	entries := make([]shardEntry, len(st.entries), len(st.entries)+1)
+	copy(entries, st.entries)
+	if i, ok := st.index[key]; ok {
+		entries[i].lambda = lambda
+		return &shardState{entries: entries, index: st.index}, false
+	}
+	index := make(map[string]int, len(st.index)+1)
+	for k, v := range st.index {
+		index[k] = v
+	}
+	index[key] = len(entries)
+	c := cfg.Clone()
+	entries = append(entries, shardEntry{cfg: c, coords: c.Floats(), lambda: lambda, seq: seq})
+	return &shardState{entries: entries, index: index}, true
+}
+
+// lookupStates resolves an exact configuration match against a frozen set
+// of shard states.
+func lookupStates(states []*shardState, mask uint64, c space.Config) (float64, bool) {
+	key := c.Key()
+	st := states[fnv1a.String(key)&mask]
+	if i, ok := st.index[key]; ok {
+		return st.entries[i].lambda, true
+	}
+	return 0, false
+}
+
+// neighborsStates collects every entry within distance <= d of w from a
+// frozen set of shard states, ordered by global insertion sequence. The
+// per-shard scan is linear, exactly as in the paper's pseudo-code.
+func neighborsStates(states []*shardState, metric space.Metric, w space.Config, d float64) *Neighborhood {
+	type hit struct {
+		e    *shardEntry
+		dist float64
+	}
+	var hits []hit
+	for _, st := range states {
+		for i := range st.entries {
+			e := &st.entries[i]
+			dist := metric.Distance(w, e.cfg)
+			if dist <= d {
+				hits = append(hits, hit{e: e, dist: dist})
+			}
+		}
+	}
+	// Restore the global insertion order so downstream tie-breaking
+	// (NearestK keeps ties oldest-first) is independent of sharding.
+	sort.Slice(hits, func(a, b int) bool { return hits[a].e.seq < hits[b].e.seq })
+	nb := &Neighborhood{}
+	for _, h := range hits {
+		nb.Coords = append(nb.Coords, h.e.coords)
+		nb.Values = append(nb.Values, h.e.lambda)
+		nb.Dists = append(nb.Dists, h.dist)
+	}
+	return nb
+}
+
+// entriesStates flattens frozen shard states into insertion order.
+func entriesStates(states []*shardState) []Entry {
+	n := 0
+	for _, st := range states {
+		n += len(st.entries)
+	}
+	type seqEntry struct {
+		seq uint64
+		e   Entry
+	}
+	all := make([]seqEntry, 0, n)
+	for _, st := range states {
+		for _, e := range st.entries {
+			all = append(all, seqEntry{seq: e.seq, e: Entry{Config: e.cfg, Lambda: e.lambda}})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].seq < all[b].seq })
+	out := make([]Entry, n)
+	for i, se := range all {
+		out[i] = se.e
+	}
+	return out
+}
+
+// nextPow2 rounds n up to a power of two (minimum 1) so shard selection
+// can mask instead of mod.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

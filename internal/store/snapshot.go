@@ -1,0 +1,48 @@
+package store
+
+import "repro/internal/space"
+
+// Snapshot is an immutable point-in-time view of a Store, captured in
+// O(shards) without copying entries. The batch evaluator resolves every
+// exact hit and kriging decision of one batch against a snapshot so the
+// batch semantics ("no query uses another batch member as support") hold
+// even while worker goroutines append simulation results concurrently.
+//
+// The zero Snapshot is empty and usable.
+type Snapshot struct {
+	states []*shardState
+	mask   uint64
+	metric space.Metric
+}
+
+// Len returns the number of configurations visible in the snapshot.
+func (sn Snapshot) Len() int {
+	n := 0
+	for _, st := range sn.states {
+		n += len(st.entries)
+	}
+	return n
+}
+
+// Metric returns the distance metric of the originating store.
+func (sn Snapshot) Metric() space.Metric { return sn.metric }
+
+// Lookup returns the value recorded for an exact configuration match at
+// snapshot time.
+func (sn Snapshot) Lookup(c space.Config) (float64, bool) {
+	if len(sn.states) == 0 {
+		return 0, false
+	}
+	return lookupStates(sn.states, sn.mask, c)
+}
+
+// Neighbors collects every configuration within distance <= d of w as of
+// snapshot time, oldest-first.
+func (sn Snapshot) Neighbors(w space.Config, d float64) *Neighborhood {
+	return neighborsStates(sn.states, sn.metric, w, d)
+}
+
+// Entries returns the snapshot contents in insertion order.
+func (sn Snapshot) Entries() []Entry {
+	return entriesStates(sn.states)
+}

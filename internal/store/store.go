@@ -1,12 +1,9 @@
-// Package store implements the (Wsim, λsim) memory of Algorithms 1-2: the
-// matrix of already-simulated configurations and their measured metric
-// values, with the L1 radius queries that collect the kriging support of
-// a new configuration.
 package store
 
 import (
-	"sort"
+	"sync/atomic"
 
+	"repro/internal/fnv1a"
 	"repro/internal/space"
 )
 
@@ -19,128 +16,103 @@ type Entry struct {
 // Store accumulates simulated configurations. Interpolated configurations
 // are deliberately NOT stored: "If the configuration is interpolated, it
 // is not used for kriging other configurations" (paper, §III-B.1).
+//
+// A Store is safe for concurrent use by multiple goroutines; see the
+// package documentation for the sharding and copy-on-write scheme.
 type Store struct {
-	entries []Entry
-	index   map[string]int // config key -> entries index
-	metric  space.Metric
+	shards []shard
+	mask   uint64 // len(shards)-1; len is a power of two
+	metric space.Metric
+	seq    atomic.Uint64 // global insertion stamp
+	count  atomic.Int64  // live entry count (Len)
 }
 
 // New creates an empty store using the given distance metric for
-// neighbour queries (the paper uses L1).
+// neighbour queries (the paper uses L1), with DefaultShardCount shards.
 func New(metric space.Metric) *Store {
-	return &Store{index: make(map[string]int), metric: metric}
+	return NewSharded(metric, DefaultShardCount)
+}
+
+// NewSharded creates an empty store spread over at least nShards shards
+// (rounded up to a power of two; values below 1 select 1). More shards
+// reduce writer contention under heavy parallel simulation at a small
+// fixed cost per radius query.
+func NewSharded(metric space.Metric, nShards int) *Store {
+	if nShards < 1 {
+		nShards = 1
+	}
+	n := nextPow2(nShards)
+	s := &Store{shards: make([]shard, n), mask: uint64(n - 1), metric: metric}
+	for i := range s.shards {
+		s.shards[i].state.Store(emptyShardState)
+	}
+	return s
 }
 
 // Len returns the number of simulated configurations (Nsim).
-func (s *Store) Len() int { return len(s.entries) }
+func (s *Store) Len() int { return int(s.count.Load()) }
 
 // Metric returns the store's distance metric.
 func (s *Store) Metric() space.Metric { return s.metric }
+
+// shardFor selects the shard owning key.
+func (s *Store) shardFor(key string) *shard {
+	return &s.shards[fnv1a.String(key)&s.mask]
+}
 
 // Add records a simulated configuration and its metric value. Re-adding
 // an existing configuration overwrites its value and reports false.
 func (s *Store) Add(c space.Config, lambda float64) (added bool) {
 	key := c.Key()
-	if i, ok := s.index[key]; ok {
-		s.entries[i].Lambda = lambda
-		return false
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	next, added := sh.state.Load().withEntry(key, c, lambda, s.seq.Add(1))
+	sh.state.Store(next)
+	sh.mu.Unlock()
+	if added {
+		s.count.Add(1)
 	}
-	s.index[key] = len(s.entries)
-	s.entries = append(s.entries, Entry{Config: c.Clone(), Lambda: lambda})
-	return true
+	return added
 }
 
 // Lookup returns the stored value for an exact configuration match.
 func (s *Store) Lookup(c space.Config) (float64, bool) {
-	if i, ok := s.index[c.Key()]; ok {
-		return s.entries[i].Lambda, true
+	key := c.Key()
+	st := s.shardFor(key).state.Load()
+	if i, ok := st.index[key]; ok {
+		return st.entries[i].lambda, true
 	}
 	return 0, false
 }
 
+// loadStates captures the current state of every shard without locking.
+func (s *Store) loadStates() []*shardState {
+	states := make([]*shardState, len(s.shards))
+	for i := range s.shards {
+		states[i] = s.shards[i].state.Load()
+	}
+	return states
+}
+
 // Entries returns a copy of the stored entries in insertion order.
 func (s *Store) Entries() []Entry {
-	out := make([]Entry, len(s.entries))
-	copy(out, s.entries)
-	return out
-}
-
-// Neighborhood is the kriging support collected for one query: parallel
-// slices of float coordinates and metric values, mirroring the paper's
-// Wtmp / λtmp accumulators.
-type Neighborhood struct {
-	Coords [][]float64
-	Values []float64
-	// Dists holds the distance of each support point to the query.
-	Dists []float64
-}
-
-// Len returns the number of support points (Nn).
-func (nb *Neighborhood) Len() int { return len(nb.Values) }
-
-// NearestK returns the k closest support points (ties kept in insertion
-// order), or the whole neighbourhood when k <= 0 or k >= Len. Capping the
-// kriging support at the nearest points is the standard way to keep the
-// Γ system small and well conditioned (Numerical Recipes recommends
-// "order 20 or fewer" supports).
-func (nb *Neighborhood) NearestK(k int) *Neighborhood {
-	if k <= 0 || k >= nb.Len() {
-		return nb
-	}
-	idx := make([]int, nb.Len())
-	for i := range idx {
-		idx[i] = i
-	}
-	// Stable selection by distance: insertion order breaks ties, keeping
-	// the result deterministic.
-	sort.SliceStable(idx, func(a, b int) bool { return nb.Dists[idx[a]] < nb.Dists[idx[b]] })
-	out := &Neighborhood{}
-	for _, i := range idx[:k] {
-		out.Coords = append(out.Coords, nb.Coords[i])
-		out.Values = append(out.Values, nb.Values[i])
-		out.Dists = append(out.Dists, nb.Dists[i])
-	}
-	return out
-}
-
-// WithoutZeroDistance returns a copy of the neighbourhood with the
-// zero-distance entries removed (used to exclude the query point itself
-// from leave-one-out style supports).
-func (nb *Neighborhood) WithoutZeroDistance() *Neighborhood {
-	out := &Neighborhood{}
-	for i, d := range nb.Dists {
-		if d == 0 {
-			continue
-		}
-		out.Coords = append(out.Coords, nb.Coords[i])
-		out.Values = append(out.Values, nb.Values[i])
-		out.Dists = append(out.Dists, d)
-	}
-	return out
+	return entriesStates(s.loadStates())
 }
 
 // Neighbors collects every simulated configuration within distance <= d of
-// w (lines 7-16 of Algorithms 1-2). The scan is linear over the store,
-// exactly as in the pseudo-code; store sizes in these optimisation runs
-// are hundreds at most.
+// w (lines 7-16 of Algorithms 1-2), oldest-first. The scan is linear over
+// the store, exactly as in the pseudo-code; it reads the shard states
+// lock-free, so it never blocks concurrent writers (or vice versa).
 func (s *Store) Neighbors(w space.Config, d float64) *Neighborhood {
-	nb := &Neighborhood{}
-	for _, e := range s.entries {
-		dist := s.metric.Distance(w, e.Config)
-		if dist <= d {
-			nb.Coords = append(nb.Coords, e.Config.Floats())
-			nb.Values = append(nb.Values, e.Lambda)
-			nb.Dists = append(nb.Dists, dist)
-		}
-	}
-	return nb
+	return neighborsStates(s.loadStates(), s.metric, w, d)
 }
 
 // AllSamples returns the whole store as a Neighborhood (distances zeroed),
 // the form consumed by global variogram identification.
 func (s *Store) AllSamples() *Neighborhood {
+	entries := entriesStates(s.loadStates())
 	nb := &Neighborhood{}
-	for _, e := range s.entries {
+	for _, e := range entries {
 		nb.Coords = append(nb.Coords, e.Config.Floats())
 		nb.Values = append(nb.Values, e.Lambda)
 		nb.Dists = append(nb.Dists, 0)
@@ -148,8 +120,21 @@ func (s *Store) AllSamples() *Neighborhood {
 	return nb
 }
 
-// Reset empties the store.
+// Snapshot freezes the current contents. The snapshot is immutable: later
+// Adds to the store are invisible to it, at zero copying cost.
+func (s *Store) Snapshot() Snapshot {
+	return Snapshot{states: s.loadStates(), mask: s.mask, metric: s.metric}
+}
+
+// Reset empties the store. Concurrent readers observe either the old or
+// the new (empty) state per shard.
 func (s *Store) Reset() {
-	s.entries = s.entries[:0]
-	s.index = make(map[string]int)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n := len(sh.state.Load().entries)
+		sh.state.Store(emptyShardState)
+		sh.mu.Unlock()
+		s.count.Add(int64(-n))
+	}
 }
