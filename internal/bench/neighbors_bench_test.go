@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/evaluator"
+	"repro/internal/rng"
+	"repro/internal/space"
+	"repro/internal/store"
+)
+
+// The neighbour-scaling benchmarks measure the lattice-bucket spatial
+// index against the paper's linear scan on stores of increasing size:
+//
+//	go test ./internal/bench -run '^$' -bench NeighborsScaling
+//
+// The workload is a 4-variable hypercube with coordinates in [0, 25]
+// and the paper's d = 3 radius regime, sized so a 100k-entry store
+// yields kriging supports of a few tens of points per query.
+const (
+	scalingNv    = 4
+	scalingCoord = 25
+	scalingD     = 3.0
+)
+
+func scalingConfig(r *rng.Stream) space.Config {
+	c := make(space.Config, scalingNv)
+	for i := range c {
+		c[i] = r.IntRange(0, scalingCoord)
+	}
+	return c
+}
+
+func scalingQueries(seed uint64, n int) []space.Config {
+	r := rng.New(seed)
+	qs := make([]space.Config, n)
+	for i := range qs {
+		qs[i] = scalingConfig(r)
+	}
+	return qs
+}
+
+// scalingStores caches prefilled stores across sub-benchmarks: filling a
+// copy-on-write store with 100k entries costs minutes, the queries under
+// measurement microseconds.
+var scalingStores = map[string]*store.Store{}
+
+func scalingStore(n int, mode store.IndexMode) *store.Store {
+	key := fmt.Sprintf("%d/%v", n, mode)
+	if s, ok := scalingStores[key]; ok {
+		return s
+	}
+	r := rng.New(uint64(n))
+	s := store.NewWithOptions(space.MetricL1, store.Options{
+		Index:      mode,
+		RadiusHint: scalingD,
+	})
+	for s.Len() < n {
+		s.Add(scalingConfig(r), r.Float64())
+	}
+	scalingStores[key] = s
+	return s
+}
+
+// BenchmarkNeighborsScaling reports the per-query cost of the raw store
+// radius scan at 1k/10k/100k entries, indexed (lattice buckets) versus
+// linear (full scan). ns/op is one Neighbors call at d = 3.
+func BenchmarkNeighborsScaling(b *testing.B) {
+	queries := scalingQueries(99, 512)
+	for _, n := range []int{1000, 10000, 100000} {
+		for _, mode := range []store.IndexMode{store.IndexLattice, store.IndexLinear} {
+			b.Run(fmt.Sprintf("n=%d/%v", n, mode), func(b *testing.B) {
+				s := scalingStore(n, mode)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.Neighbors(queries[i%len(queries)], scalingD)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkNeighborsScalingEvaluate is the end-to-end view of the same
+// win: one full evaluator query (exact-hit lookup, neighbourhood
+// collection, kriging or simulation) against a 50k-entry support store,
+// indexed versus linear. The simulator is free, so ns/op isolates the
+// evaluation pipeline itself, which the radius scan dominates at scale.
+func BenchmarkNeighborsScalingEvaluate(b *testing.B) {
+	const prefill = 50000
+	sim := evaluator.SimulatorFunc{
+		NumVars: scalingNv,
+		Fn: func(cfg space.Config) (float64, error) {
+			s := 0
+			for _, v := range cfg {
+				s += v
+			}
+			return float64(s), nil
+		},
+	}
+	for _, mode := range []store.IndexMode{store.IndexAuto, store.IndexLinear} {
+		b.Run(fmt.Sprintf("n=%d/%v", prefill, mode), func(b *testing.B) {
+			ev, err := evaluator.New(sim, evaluator.Options{
+				D:          scalingD,
+				MaxSupport: 10,
+				StoreIndex: mode,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := rng.New(prefill)
+			for ev.Store().Len() < prefill {
+				ev.Store().Add(scalingConfig(r), r.Float64())
+			}
+			queries := scalingQueries(7, 4096)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.Evaluate(queries[i%len(queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -76,6 +76,16 @@ type Options struct {
 	// StoreShards overrides the shard count of the support store; zero
 	// selects store.DefaultShardCount.
 	StoreShards int
+	// StoreIndex selects the support store's spatial-index mode. The
+	// zero value (store.IndexAuto) buckets configurations on a lattice
+	// grid sized from the query radius (D, or DMax when adaptive growth
+	// is on), so radius queries visit only candidate cells instead of
+	// scanning the whole store; store.IndexLinear restores the paper's
+	// plain linear scan. Results are identical either way.
+	StoreIndex store.IndexMode
+	// StoreCellSize overrides the lattice cell edge of the spatial
+	// index; zero derives it from D/DMax.
+	StoreCellSize int
 	// Transform, when non-nil, maps λ into the space in which kriging
 	// is performed, and Untransform maps predictions back. The paper
 	// kriges λ = -P directly (identity); the log-domain ablation uses a
@@ -104,6 +114,9 @@ func (o *Options) validate() error {
 	}
 	if o.StoreShards < 0 {
 		return fmt.Errorf("%w: negative StoreShards %d", ErrBadOptions, o.StoreShards)
+	}
+	if o.StoreCellSize < 0 {
+		return fmt.Errorf("%w: negative StoreCellSize %d", ErrBadOptions, o.StoreCellSize)
 	}
 	if (o.Transform == nil) != (o.Untransform == nil) {
 		return fmt.Errorf("%w: Transform and Untransform must be set together", ErrBadOptions)
@@ -155,14 +168,21 @@ func New(sim Simulator, opts Options) (*Evaluator, error) {
 	if opts.Interp == nil {
 		opts.Interp = &kriging.Ordinary{} // L1 + power variogram defaults
 	}
-	shards := opts.StoreShards
-	if shards == 0 {
-		shards = store.DefaultShardCount
+	// The query radius regime sizes the index cells: with cell ≈ D the
+	// candidate ring around a query is one cell per axis.
+	hint := opts.D
+	if opts.DMax > hint {
+		hint = opts.DMax
 	}
 	return &Evaluator{
-		sim:   sim,
-		opts:  opts,
-		store: store.NewSharded(opts.Metric, shards),
+		sim:  sim,
+		opts: opts,
+		store: store.NewWithOptions(opts.Metric, store.Options{
+			Shards:     opts.StoreShards,
+			Index:      opts.StoreIndex,
+			CellSize:   opts.StoreCellSize,
+			RadiusHint: hint,
+		}),
 	}, nil
 }
 

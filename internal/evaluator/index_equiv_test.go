@@ -1,0 +1,55 @@
+package evaluator
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/space"
+	"repro/internal/store"
+)
+
+// TestEvaluateIndexEquivalence runs the same query stream through an
+// evaluator backed by the lattice-bucket index and one forced onto the
+// linear scan: every decision (simulate vs krige), every λ and the final
+// counters must be bit-identical, proving the index is invisible to the
+// algorithm.
+func TestEvaluateIndexEquivalence(t *testing.T) {
+	newEv := func(mode store.IndexMode) *Evaluator {
+		sim := SimulatorFunc{
+			NumVars: 3,
+			Fn: func(cfg space.Config) (float64, error) {
+				s := 0.0
+				for i, v := range cfg {
+					s += float64((i + 1) * v * v)
+				}
+				return s, nil
+			},
+		}
+		ev, err := New(sim, Options{D: 3, MaxSupport: 8, StoreIndex: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev
+	}
+	indexed := newEv(store.IndexAuto)
+	linear := newEv(store.IndexLinear)
+	r := rng.New(21)
+	for i := 0; i < 500; i++ {
+		cfg := space.Config{r.IntRange(0, 9), r.IntRange(0, 9), r.IntRange(0, 9)}
+		ri, err1 := indexed.Evaluate(cfg)
+		rl, err2 := linear.Evaluate(cfg)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if ri != rl {
+			t.Fatalf("query %d %v: indexed %+v, linear %+v", i, cfg, ri, rl)
+		}
+	}
+	si, sl := indexed.Stats(), linear.Stats()
+	if si.NSim != sl.NSim || si.NInterp != sl.NInterp || si.SumNeigh != sl.SumNeigh || si.NVarRejected != sl.NVarRejected {
+		t.Fatalf("counters diverged: indexed %+v, linear %+v", si, sl)
+	}
+	if indexed.Store().Len() != linear.Store().Len() {
+		t.Fatalf("store sizes diverged: %d vs %d", indexed.Store().Len(), linear.Store().Len())
+	}
+}

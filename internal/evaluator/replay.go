@@ -105,6 +105,16 @@ type ReplayRow struct {
 	KrigFailures int // degenerate systems that fell back to simulation
 }
 
+// newReplayStore builds a support store for replay passes, sizing the
+// spatial-index cells from the replay's query radius.
+func newReplayStore(opts Options) *store.Store {
+	hint := opts.D
+	if opts.DMax > hint {
+		hint = opts.DMax
+	}
+	return store.NewWithOptions(opts.Metric, store.Options{RadiusHint: hint})
+}
+
 // Replay feeds a recorded trajectory through the kriging decision rule
 // and measures the interpolation error of every kriged point against the
 // recorded truth. No simulator runs: "simulated" points take their value
@@ -140,7 +150,7 @@ func ReplayModed(trace Trace, opts Options, kind ErrorKind, mode ReplayMode) (Re
 	// Algorithms 1-2: a point is interpolated when strictly more than
 	// Nn,min already-simulated points lie within d; interpolated points
 	// never enter the support store.
-	st := store.New(opts.Metric)
+	st := newReplayStore(opts)
 	interp := make([]bool, len(pts))
 	for i, tp := range pts {
 		if opts.D > 0 && st.Neighbors(tp.Config, opts.D).Len() > opts.NnMin {
@@ -153,7 +163,7 @@ func ReplayModed(trace Trace, opts Options, kind ErrorKind, mode ReplayMode) (Re
 	}
 
 	// Pass 2 — value computation and error measurement.
-	all := store.New(opts.Metric)
+	all := newReplayStore(opts)
 	if mode == ModePaper {
 		for _, tp := range pts {
 			all.Add(tp.Config, tp.Lambda)
@@ -179,7 +189,7 @@ func ReplayModed(trace Trace, opts Options, kind ErrorKind, mode ReplayMode) (Re
 		case ModeLive:
 			// Rebuild the past-only support: simulated points that
 			// precede this query in the trace.
-			live := store.New(opts.Metric)
+			live := newReplayStore(opts)
 			for j := 0; j < i; j++ {
 				if !interp[j] {
 					live.Add(pts[j].Config, pts[j].Lambda)

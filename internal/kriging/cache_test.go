@@ -23,7 +23,7 @@ func support4() ([][]float64, []float64) {
 // a shared support.
 func TestCachedOrdinaryMatchesUncached(t *testing.T) {
 	xs, ys := support4()
-	cached := &Ordinary{}             // default cache
+	cached := &Ordinary{} // default cache
 	uncached := &Ordinary{CacheSize: -1}
 	queries := [][]float64{{1, 1}, {2, 3}, {3.5, 0.5}, {1, 1}, {2, 3}}
 	for _, q := range queries {

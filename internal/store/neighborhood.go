@@ -32,11 +32,15 @@ func (nb *Neighborhood) NearestK(k int) *Neighborhood {
 	// Stable selection by distance: insertion order breaks ties, keeping
 	// the result deterministic.
 	sort.SliceStable(idx, func(a, b int) bool { return nb.Dists[idx[a]] < nb.Dists[idx[b]] })
-	out := &Neighborhood{}
-	for _, i := range idx[:k] {
-		out.Coords = append(out.Coords, nb.Coords[i])
-		out.Values = append(out.Values, nb.Values[i])
-		out.Dists = append(out.Dists, nb.Dists[i])
+	out := &Neighborhood{
+		Coords: make([][]float64, k),
+		Values: make([]float64, k),
+		Dists:  make([]float64, k),
+	}
+	for o, i := range idx[:k] {
+		out.Coords[o] = nb.Coords[i]
+		out.Values[o] = nb.Values[i]
+		out.Dists[o] = nb.Dists[i]
 	}
 	return out
 }
@@ -45,7 +49,17 @@ func (nb *Neighborhood) NearestK(k int) *Neighborhood {
 // zero-distance entries removed (used to exclude the query point itself
 // from leave-one-out style supports).
 func (nb *Neighborhood) WithoutZeroDistance() *Neighborhood {
-	out := &Neighborhood{}
+	n := 0
+	for _, d := range nb.Dists {
+		if d != 0 {
+			n++
+		}
+	}
+	out := &Neighborhood{
+		Coords: make([][]float64, 0, n),
+		Values: make([]float64, 0, n),
+		Dists:  make([]float64, 0, n),
+	}
 	for i, d := range nb.Dists {
 		if d == 0 {
 			continue

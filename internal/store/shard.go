@@ -32,6 +32,10 @@ type shardEntry struct {
 type shardState struct {
 	entries []shardEntry
 	index   map[string]int // config key -> entries index
+	// buckets is the lattice-bucket spatial index: occupied cell key ->
+	// entry indices. nil when the store runs with IndexLinear (or the
+	// shard is empty); rebuilt copy-on-write alongside entries/index.
+	buckets map[string]*bucket
 }
 
 var emptyShardState = &shardState{index: map[string]int{}}
@@ -46,12 +50,15 @@ type shard struct {
 // withEntry returns a copy of the state with (cfg, lambda, seq) inserted,
 // or with the existing entry's value overwritten when cfg is present.
 // key must be cfg.Key() (precomputed by the caller for shard selection).
-func (st *shardState) withEntry(key string, cfg space.Config, lambda float64, seq uint64) (next *shardState, added bool) {
+// When ic keeps lattice buckets, the new entry is also bucketed into a
+// copy of the spatial index; an overwrite leaves the index untouched
+// (entry positions are stable).
+func (st *shardState) withEntry(key string, cfg space.Config, lambda float64, seq uint64, ic indexConfig) (next *shardState, added bool) {
 	entries := make([]shardEntry, len(st.entries), len(st.entries)+1)
 	copy(entries, st.entries)
 	if i, ok := st.index[key]; ok {
 		entries[i].lambda = lambda
-		return &shardState{entries: entries, index: st.index}, false
+		return &shardState{entries: entries, index: st.index, buckets: st.buckets}, false
 	}
 	index := make(map[string]int, len(st.index)+1)
 	for k, v := range st.index {
@@ -60,7 +67,11 @@ func (st *shardState) withEntry(key string, cfg space.Config, lambda float64, se
 	index[key] = len(entries)
 	c := cfg.Clone()
 	entries = append(entries, shardEntry{cfg: c, coords: c.Floats(), lambda: lambda, seq: seq})
-	return &shardState{entries: entries, index: index}, true
+	next = &shardState{entries: entries, index: index}
+	if ic.bucketing() {
+		next.buckets = withBucket(st.buckets, cellOf(c, ic.cell), int32(len(entries)-1))
+	}
+	return next, true
 }
 
 // lookupStates resolves an exact configuration match against a frozen set
@@ -75,13 +86,22 @@ func lookupStates(states []*shardState, mask uint64, c space.Config) (float64, b
 }
 
 // neighborsStates collects every entry within distance <= d of w from a
-// frozen set of shard states, ordered by global insertion sequence. The
-// per-shard scan is linear, exactly as in the paper's pseudo-code.
-func neighborsStates(states []*shardState, metric space.Metric, w space.Config, d float64) *Neighborhood {
-	type hit struct {
-		e    *shardEntry
-		dist float64
+// frozen set of shard states, ordered by global insertion sequence. It
+// dispatches between the lattice-bucket index and the reference linear
+// scan; both produce bit-identical neighbourhoods (the sequence sort
+// restores the global insertion order so downstream tie-breaking —
+// NearestK keeps ties oldest-first — is independent of sharding and of
+// bucket iteration order).
+func neighborsStates(states []*shardState, metric space.Metric, ic indexConfig, w space.Config, d float64) *Neighborhood {
+	if useIndex(states, metric, ic, d) {
+		return neighborsIndexed(states, metric, ic, w, d)
 	}
+	return neighborsLinear(states, metric, w, d)
+}
+
+// neighborsLinear is the reference implementation: a full scan of every
+// entry, exactly as in the paper's pseudo-code.
+func neighborsLinear(states []*shardState, metric space.Metric, w space.Config, d float64) *Neighborhood {
 	var hits []hit
 	for _, st := range states {
 		for i := range st.entries {
@@ -92,16 +112,7 @@ func neighborsStates(states []*shardState, metric space.Metric, w space.Config, 
 			}
 		}
 	}
-	// Restore the global insertion order so downstream tie-breaking
-	// (NearestK keeps ties oldest-first) is independent of sharding.
-	sort.Slice(hits, func(a, b int) bool { return hits[a].e.seq < hits[b].e.seq })
-	nb := &Neighborhood{}
-	for _, h := range hits {
-		nb.Coords = append(nb.Coords, h.e.coords)
-		nb.Values = append(nb.Values, h.e.lambda)
-		nb.Dists = append(nb.Dists, h.dist)
-	}
-	return nb
+	return finishHits(hits)
 }
 
 // entriesStates flattens frozen shard states into insertion order.

@@ -13,6 +13,7 @@ type Snapshot struct {
 	states []*shardState
 	mask   uint64
 	metric space.Metric
+	ic     indexConfig
 }
 
 // Len returns the number of configurations visible in the snapshot.
@@ -37,9 +38,11 @@ func (sn Snapshot) Lookup(c space.Config) (float64, bool) {
 }
 
 // Neighbors collects every configuration within distance <= d of w as of
-// snapshot time, oldest-first.
+// snapshot time, oldest-first. It uses the originating store's spatial
+// index under the same policy (and with identical results) as
+// Store.Neighbors.
 func (sn Snapshot) Neighbors(w space.Config, d float64) *Neighborhood {
-	return neighborsStates(sn.states, sn.metric, w, d)
+	return neighborsStates(sn.states, sn.metric, sn.ic, w, d)
 }
 
 // Entries returns the snapshot contents in insertion order.

@@ -23,26 +23,64 @@ type Store struct {
 	shards []shard
 	mask   uint64 // len(shards)-1; len is a power of two
 	metric space.Metric
+	ic     indexConfig   // frozen spatial-index policy
 	seq    atomic.Uint64 // global insertion stamp
 	count  atomic.Int64  // live entry count (Len)
+}
+
+// Options configures a Store beyond its distance metric. The zero value
+// selects the defaults: DefaultShardCount shards and an automatic
+// lattice-bucket index.
+type Options struct {
+	// Shards is the number of shards (rounded up to a power of two;
+	// values below 1 select DefaultShardCount). More shards reduce writer
+	// contention under heavy parallel simulation at a small fixed cost
+	// per radius query.
+	Shards int
+	// Index selects the Neighbors strategy; the zero value IndexAuto
+	// keeps lattice buckets and uses them once the store outgrows
+	// MinIndexedSize.
+	Index IndexMode
+	// CellSize is the lattice cell edge of the spatial index. Zero
+	// derives it from RadiusHint (or defaults to 4): a cell edge near the
+	// typical query radius keeps the candidate ring at one cell per axis.
+	CellSize int
+	// RadiusHint is the typical Neighbors radius the store will serve
+	// (the evaluator passes its D). Only consulted when CellSize is zero.
+	RadiusHint float64
+	// MinIndexedSize is the store size below which IndexAuto falls back
+	// to the linear scan; zero selects a small default (64).
+	MinIndexedSize int
 }
 
 // New creates an empty store using the given distance metric for
 // neighbour queries (the paper uses L1), with DefaultShardCount shards.
 func New(metric space.Metric) *Store {
-	return NewSharded(metric, DefaultShardCount)
+	return NewWithOptions(metric, Options{})
 }
 
 // NewSharded creates an empty store spread over at least nShards shards
-// (rounded up to a power of two; values below 1 select 1). More shards
-// reduce writer contention under heavy parallel simulation at a small
-// fixed cost per radius query.
+// (rounded up to a power of two; values below 1 select 1).
 func NewSharded(metric space.Metric, nShards int) *Store {
 	if nShards < 1 {
 		nShards = 1
 	}
-	n := nextPow2(nShards)
-	s := &Store{shards: make([]shard, n), mask: uint64(n - 1), metric: metric}
+	return NewWithOptions(metric, Options{Shards: nShards})
+}
+
+// NewWithOptions creates an empty store with explicit sharding and
+// spatial-index policy.
+func NewWithOptions(metric space.Metric, opt Options) *Store {
+	if opt.Shards < 1 {
+		opt.Shards = DefaultShardCount
+	}
+	n := nextPow2(opt.Shards)
+	s := &Store{
+		shards: make([]shard, n),
+		mask:   uint64(n - 1),
+		metric: metric,
+		ic:     resolveIndexConfig(opt),
+	}
 	for i := range s.shards {
 		s.shards[i].state.Store(emptyShardState)
 	}
@@ -55,6 +93,13 @@ func (s *Store) Len() int { return int(s.count.Load()) }
 // Metric returns the store's distance metric.
 func (s *Store) Metric() space.Metric { return s.metric }
 
+// IndexInfo reports the resolved spatial-index policy: the mode and the
+// lattice cell edge buckets are built on (meaningful unless the mode is
+// IndexLinear).
+func (s *Store) IndexInfo() (mode IndexMode, cellSize int) {
+	return s.ic.mode, s.ic.cell
+}
+
 // shardFor selects the shard owning key.
 func (s *Store) shardFor(key string) *shard {
 	return &s.shards[fnv1a.String(key)&s.mask]
@@ -66,7 +111,7 @@ func (s *Store) Add(c space.Config, lambda float64) (added bool) {
 	key := c.Key()
 	sh := s.shardFor(key)
 	sh.mu.Lock()
-	next, added := sh.state.Load().withEntry(key, c, lambda, s.seq.Add(1))
+	next, added := sh.state.Load().withEntry(key, c, lambda, s.seq.Add(1), s.ic)
 	sh.state.Store(next)
 	sh.mu.Unlock()
 	if added {
@@ -100,22 +145,27 @@ func (s *Store) Entries() []Entry {
 }
 
 // Neighbors collects every simulated configuration within distance <= d of
-// w (lines 7-16 of Algorithms 1-2), oldest-first. The scan is linear over
-// the store, exactly as in the pseudo-code; it reads the shard states
-// lock-free, so it never blocks concurrent writers (or vice versa).
+// w (lines 7-16 of Algorithms 1-2), oldest-first. Under the default index
+// policy the query visits only the lattice cells that can intersect the
+// radius — O(candidates) rather than O(N) — and produces exactly the
+// neighbourhood of the pseudo-code's linear scan; it reads the shard
+// states lock-free, so it never blocks concurrent writers (or vice versa).
 func (s *Store) Neighbors(w space.Config, d float64) *Neighborhood {
-	return neighborsStates(s.loadStates(), s.metric, w, d)
+	return neighborsStates(s.loadStates(), s.metric, s.ic, w, d)
 }
 
 // AllSamples returns the whole store as a Neighborhood (distances zeroed),
 // the form consumed by global variogram identification.
 func (s *Store) AllSamples() *Neighborhood {
 	entries := entriesStates(s.loadStates())
-	nb := &Neighborhood{}
-	for _, e := range entries {
-		nb.Coords = append(nb.Coords, e.Config.Floats())
-		nb.Values = append(nb.Values, e.Lambda)
-		nb.Dists = append(nb.Dists, 0)
+	nb := &Neighborhood{
+		Coords: make([][]float64, len(entries)),
+		Values: make([]float64, len(entries)),
+		Dists:  make([]float64, len(entries)),
+	}
+	for i, e := range entries {
+		nb.Coords[i] = e.Config.Floats()
+		nb.Values[i] = e.Lambda
 	}
 	return nb
 }
@@ -123,7 +173,7 @@ func (s *Store) AllSamples() *Neighborhood {
 // Snapshot freezes the current contents. The snapshot is immutable: later
 // Adds to the store are invisible to it, at zero copying cost.
 func (s *Store) Snapshot() Snapshot {
-	return Snapshot{states: s.loadStates(), mask: s.mask, metric: s.metric}
+	return Snapshot{states: s.loadStates(), mask: s.mask, metric: s.metric, ic: s.ic}
 }
 
 // Reset empties the store. Concurrent readers observe either the old or
