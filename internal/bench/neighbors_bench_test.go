@@ -41,9 +41,9 @@ func scalingQueries(seed uint64, n int) []space.Config {
 	return qs
 }
 
-// scalingStores caches prefilled stores across sub-benchmarks: filling a
-// copy-on-write store with 100k entries costs minutes, the queries under
-// measurement microseconds.
+// scalingStores caches prefilled stores across sub-benchmarks so the
+// query benchmarks measure queries, not setup (the bulk load itself is
+// measured by BenchmarkAddBulk).
 var scalingStores = map[string]*store.Store{}
 
 func scalingStore(n int, mode store.IndexMode) *store.Store {
@@ -57,7 +57,11 @@ func scalingStore(n int, mode store.IndexMode) *store.Store {
 		RadiusHint: scalingD,
 	})
 	for s.Len() < n {
-		s.Add(scalingConfig(r), r.Float64())
+		batch := make([]store.Entry, n-s.Len())
+		for i := range batch {
+			batch[i] = store.Entry{Config: scalingConfig(r), Lambda: r.Float64()}
+		}
+		s.AddBatch(batch)
 	}
 	scalingStores[key] = s
 	return s

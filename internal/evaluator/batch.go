@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/space"
+	"repro/internal/store"
 )
 
 // EvaluateAll answers a batch of independent queries on a bounded worker
@@ -104,13 +105,17 @@ func (e *Evaluator) EvaluateAll(cfgs []space.Config, workers int) ([]Result, err
 	}
 	// Store updates happen once everything succeeded, in input order,
 	// keeping the store contents (and NearestK tie-breaking in later
-	// queries) deterministic.
+	// queries) deterministic. The whole commit goes through the bulk
+	// write path: one view publication per shard instead of one per
+	// simulation result.
+	commit := make([]store.Entry, 0, len(cfgs))
 	for idx := range cfgs {
 		if simulated[idx] {
-			e.store.Add(cfgs[idx], results[idx].Lambda)
+			commit = append(commit, store.Entry{Config: cfgs[idx], Lambda: results[idx].Lambda})
 			batchStats.nSim.Add(1)
 		}
 	}
+	e.store.AddBatch(commit)
 	e.stats.merge(&batchStats)
 	return results, nil
 }

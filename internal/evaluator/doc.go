@@ -18,4 +18,15 @@
 // that are deterministic regardless of worker count. The Oracle adapter
 // exposes both the single-query and the batched path to the optimisers
 // in internal/optim.
+//
+// # Bulk ingestion
+//
+// Whole-campaign writes ride the store's amortized bulk path
+// (store.AddBatch, one view publication per shard): EvaluateAll commits
+// a successful batch's simulation results in input order through it,
+// the replay passes bulk-load their support stores from the recorded
+// trace, and Preload/Restore warm-start an evaluator from a previous
+// campaign — Restore reads a trajectory persisted with SaveTrace, so
+// the expensive simulation-only recording is paid once and every later
+// study starts from its store in milliseconds.
 package evaluator

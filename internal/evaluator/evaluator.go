@@ -190,6 +190,17 @@ func New(sim Simulator, opts Options) (*Evaluator, error) {
 // optimisers warm-start Algorithm 2 with the store of Algorithm 1).
 func (e *Evaluator) Store() *store.Store { return e.store }
 
+// Preload bulk-loads previously simulated results into the support store
+// through the amortized write path — the warm-start primitive behind
+// Restore and behind reusing one campaign's store in the next. It
+// returns the number of entries that were new configurations. Preloaded
+// values count as simulator truth for later queries (exact hits and
+// kriging support) but do not touch the activity counters: Stats keeps
+// measuring only this evaluator's own work.
+func (e *Evaluator) Preload(entries []store.Entry) int {
+	return e.store.AddBatch(entries)
+}
+
 // Stats returns a snapshot of the activity counters. While evaluations
 // are in flight on other goroutines the snapshot is approximate; it is
 // exact once they have returned.

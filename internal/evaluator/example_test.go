@@ -1,0 +1,52 @@
+package evaluator_test
+
+import (
+	"fmt"
+
+	"repro/internal/evaluator"
+	"repro/internal/space"
+)
+
+// ExampleEvaluator_EvaluateAll runs a batch of queries on the worker
+// pool. The first batch finds an empty support store, so every query is
+// simulated and committed through the store's bulk-write path in input
+// order; in the second batch an exact revisit is answered from the store
+// and a new configuration close to the first batch's results is kriged
+// instead of simulated.
+func ExampleEvaluator_EvaluateAll() {
+	sim := evaluator.SimulatorFunc{
+		NumVars: 2,
+		Fn: func(c space.Config) (float64, error) {
+			return -float64(c[0] + c[1]), nil
+		},
+	}
+	ev, err := evaluator.New(sim, evaluator.Options{D: 2})
+	if err != nil {
+		panic(err)
+	}
+	first := []space.Config{{8, 8}, {8, 9}, {9, 8}, {9, 9}}
+	results, err := ev.EvaluateAll(first, 4)
+	if err != nil {
+		panic(err)
+	}
+	for i, r := range results {
+		fmt.Printf("%v %s %.0f\n", first[i], r.Source, r.Lambda)
+	}
+	second := []space.Config{{8, 9}, {9, 10}}
+	results, err = ev.EvaluateAll(second, 2)
+	if err != nil {
+		panic(err)
+	}
+	for i, r := range results {
+		fmt.Printf("%v %s\n", second[i], r.Source)
+	}
+	fmt.Println("simulations:", ev.Stats().NSim)
+	// Output:
+	// (8,8) simulated -16
+	// (8,9) simulated -17
+	// (9,8) simulated -17
+	// (9,9) simulated -18
+	// (8,9) simulated
+	// (9,10) interpolated
+	// simulations: 4
+}

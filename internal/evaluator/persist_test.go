@@ -31,6 +31,86 @@ func TestTraceRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRestoreRoundTrip drives persist→restore through the bulk path: a
+// recorded campaign is saved with SaveTrace and restored into a fresh
+// evaluator with Restore, which must leave the support store with the
+// same contents in the same insertion order, answer exact revisits
+// without simulating, and keep the new evaluator's stats untouched.
+func TestRestoreRoundTrip(t *testing.T) {
+	calls := 0
+	sim := SimulatorFunc{NumVars: 2, Fn: func(c space.Config) (float64, error) {
+		calls++
+		return -float64(c[0]*3 + c[1]), nil
+	}}
+	rec := &RecordingSimulator{Inner: sim}
+	ev, err := New(rec, Options{D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []space.Config{{4, 4}, {4, 6}, {6, 4}, {9, 9}} {
+		if _, err := ev.Evaluate(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := SaveTrace(&buf, rec.Trace); err != nil {
+		t.Fatal(err)
+	}
+
+	ev2, err := New(sim, Options{D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := ev2.Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(rec.Trace) {
+		t.Errorf("Restore loaded %d entries, want %d", n, len(rec.Trace))
+	}
+	want := ev.Store().Entries()
+	got := ev2.Store().Entries()
+	if len(got) != len(want) {
+		t.Fatalf("restored store has %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Config.Equal(want[i].Config) || got[i].Lambda != want[i].Lambda {
+			t.Errorf("restored entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if s := ev2.Stats(); s.NSim != 0 || s.NInterp != 0 {
+		t.Errorf("Restore touched the activity counters: %+v", s)
+	}
+	// A revisit of a restored point is a store hit, not a simulation.
+	before := calls
+	res, err := ev2.Evaluate(space.Config{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != Simulated || res.Lambda != -16 || calls != before {
+		t.Errorf("revisit after restore: %+v (simulator calls %d -> %d)", res, before, calls)
+	}
+}
+
+// TestRestoreRejectsDimensionMismatch guards the restore path against a
+// trace recorded for a different configuration space.
+func TestRestoreRejectsDimensionMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveTrace(&buf, Trace{{Config: space.Config{1, 2, 3}, Lambda: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := New(SimulatorFunc{NumVars: 2, Fn: func(space.Config) (float64, error) { return 0, nil }}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Restore(&buf); err == nil {
+		t.Error("3-variable trace restored into a 2-variable evaluator")
+	}
+	if ev.Store().Len() != 0 {
+		t.Error("rejected restore left entries behind")
+	}
+}
+
 func TestLoadTraceRejectsBadInput(t *testing.T) {
 	cases := map[string]string{
 		"garbage":       "not json",

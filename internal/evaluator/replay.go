@@ -23,6 +23,18 @@ type TracePoint struct {
 // measured, for comparison with the results obtained by kriging."
 type Trace []TracePoint
 
+// Entries converts the trajectory to store entries in trace order, the
+// form consumed by the store's bulk-write path (store.AddBatch) and by
+// Evaluator.Preload. Configurations are not cloned — the store clones on
+// insert.
+func (t Trace) Entries() []store.Entry {
+	out := make([]store.Entry, len(t))
+	for i, tp := range t {
+		out[i] = store.Entry{Config: tp.Config, Lambda: tp.Lambda}
+	}
+	return out
+}
+
 // ErrorKind selects how the interpolation error ε of a replay is
 // expressed: equivalent bits (Eq. 11, noise-power metrics with λ = -P) or
 // relative difference (Eq. 12, any other metric).
@@ -162,12 +174,12 @@ func ReplayModed(trace Trace, opts Options, kind ErrorKind, mode ReplayMode) (Re
 		row.NSim++
 	}
 
-	// Pass 2 — value computation and error measurement.
+	// Pass 2 — value computation and error measurement. The support
+	// stores of this pass hold whole recorded sets, so they go through
+	// the amortized bulk-write path rather than per-Add publication.
 	all := newReplayStore(opts)
 	if mode == ModePaper {
-		for _, tp := range pts {
-			all.Add(tp.Config, tp.Lambda)
-		}
+		all.AddBatch(pts.Entries())
 	}
 	var eps metrics.Summary
 	var sumNeigh int
@@ -189,12 +201,14 @@ func ReplayModed(trace Trace, opts Options, kind ErrorKind, mode ReplayMode) (Re
 		case ModeLive:
 			// Rebuild the past-only support: simulated points that
 			// precede this query in the trace.
-			live := newReplayStore(opts)
+			past := make([]store.Entry, 0, i)
 			for j := 0; j < i; j++ {
 				if !interp[j] {
-					live.Add(pts[j].Config, pts[j].Lambda)
+					past = append(past, store.Entry{Config: pts[j].Config, Lambda: pts[j].Lambda})
 				}
 			}
+			live := newReplayStore(opts)
+			live.AddBatch(past)
 			nb = live.Neighbors(tp.Config, opts.D)
 		default:
 			return ReplayRow{}, fmt.Errorf("evaluator: unknown replay mode %d", mode)

@@ -3,38 +3,59 @@
 // values, with the L1 radius queries that collect the kriging support of
 // a new configuration.
 //
-// The store is safe for concurrent use. Internally it hashes
-// configurations across a fixed set of shards; each shard publishes an
-// immutable copy-on-write state through an atomic pointer, so Lookup,
-// Neighbors and the other read paths never take a lock — writers
-// serialise per shard only. A monotone sequence number stamped on every
+// # Concurrency: builder writes, epoch-published views
+//
+// The store is safe for concurrent use. Configurations hash across a
+// fixed set of shards; each shard's writer mutates a private builder
+// under the shard lock — an append-only entries array with capacity
+// doubling plus incrementally updated hash tables — and publishes an
+// immutable view through an atomic pointer, so Lookup, Neighbors and
+// the other read paths never take a lock. A view is pinned by its
+// entries length (its epoch): later inserts append beyond every older
+// view's length and are filtered out of shared-table probes by
+// position, which makes inserts amortized O(1) instead of the
+// O(shard size) of a copy-on-write scheme. Re-adding a configuration
+// appends an O(1) replacement version that keeps the original sequence
+// stamp; views that contain the replacement skip the superseded
+// version, while older views (and Snapshots) keep reporting the value
+// current at their epoch. A monotone sequence number stamped on every
 // entry preserves the global insertion order the sequential pseudo-code
 // relies on (neighbourhoods, Entries and AllSamples are always reported
 // oldest-first, so NearestK tie-breaking stays deterministic).
 //
+// AddBatch is the bulk-write path: it stamps a batch in input order and
+// publishes each touched shard once, so ingesting a replayed trace, a
+// restored campaign or a batch-evaluation commit costs one publication
+// per shard rather than one per entry, with results indistinguishable
+// from a loop of Adds. Concurrent readers observe, per shard, either
+// the pre-batch or the post-batch view — a consistent prefix, never a
+// torn intermediate.
+//
+// # Radius queries: lattice-bucket index
+//
 // Radius queries are served by a lattice-bucket spatial index rather
 // than a full scan: configurations live on an integer lattice, so each
-// shard state buckets its entries by a coarse grid cell whose edge is
-// sized from the query radius regime (Options.CellSize, or derived from
-// Options.RadiusHint — the evaluator passes its D — defaulting to 4).
-// Neighbors(w, d) visits only the ⌈d/cell⌉-ring of candidate cells
-// around w in low dimension, and in high dimension — where that ring
-// outgrows the number of occupied cells — sweeps the occupied buckets
-// with conservative cell-level distance pruning. Because every candidate
-// is verified against the exact metric and hits are re-sorted by the
-// global sequence, indexed neighbourhoods are bit-identical to the
-// linear scan (values, distances and oldest-first tie order) for all
-// supported metrics (L1, L2, L∞: each bounds the per-dimension
-// coordinate difference by the distance, which makes both the ring bound
-// and the cell pruning conservative). The index is part of each
-// immutable shard state: withEntry rebuilds the touched bucket
-// copy-on-write, so lock-free readers are never disturbed. Fallback
-// rules: stores smaller than Options.MinIndexedSize (default 64) and
-// unrecognised metrics use the linear scan; IndexLinear disables
-// bucketing entirely; IndexLattice forces the indexed paths.
+// shard chains its entries per coarse grid cell, with the cell table
+// holding each occupied cell's newest entry (cell edge sized from
+// Options.CellSize, or derived from Options.RadiusHint — the evaluator
+// passes its D — defaulting to 4). Neighbors(w, d) visits only the
+// ⌈d/cell⌉-ring of candidate cells around w in low dimension, and in
+// high dimension — where that ring outgrows the number of occupied
+// cells — sweeps the occupied cells with conservative cell-level
+// distance pruning. Because every candidate is verified against the
+// exact metric and hits are re-sorted by the global sequence, indexed
+// neighbourhoods are bit-identical to the linear scan (values,
+// distances and oldest-first tie order) for all supported metrics (L1,
+// L2, L∞: each bounds the per-dimension coordinate difference by the
+// distance, which makes both the ring bound and the cell pruning
+// conservative). Fallback rules: stores smaller than
+// Options.MinIndexedSize (default 64) and unrecognised metrics use the
+// linear scan; IndexLinear disables bucketing entirely; IndexLattice
+// forces the indexed paths.
 //
 // Snapshot freezes the current contents in O(shards): the batch
 // evaluator uses it to make all interpolation decisions of one batch
 // against the store as it stood on entry, regardless of concurrent
-// writers. Snapshots inherit the originating store's index policy.
+// writers. Snapshots inherit the originating store's index policy and
+// are immune to later overwrites of the entries they contain.
 package store

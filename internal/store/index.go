@@ -4,7 +4,9 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"sync/atomic"
 
+	"repro/internal/fnv1a"
 	"repro/internal/space"
 )
 
@@ -18,10 +20,10 @@ const (
 	// cannot win) or when the metric is not one the index can prune
 	// conservatively.
 	IndexAuto IndexMode = iota
-	// IndexLinear disables the index entirely: no buckets are maintained
-	// and every query scans all entries, exactly the paper's pseudo-code.
-	// It is the reference implementation the equivalence tests and the
-	// scaling benchmarks compare against.
+	// IndexLinear disables the index entirely: no cell table is
+	// maintained and every query scans all entries, exactly the paper's
+	// pseudo-code. It is the reference implementation the equivalence
+	// tests and the scaling benchmarks compare against.
 	IndexLinear
 	// IndexLattice forces bucketed queries regardless of store size
 	// (still reverting to the scan for unsupported metrics, where cell
@@ -84,7 +86,7 @@ func resolveIndexConfig(opt Options) indexConfig {
 	return ic
 }
 
-// bucketing reports whether shard states maintain lattice buckets.
+// bucketing reports whether shards maintain the lattice cell table.
 func (ic indexConfig) bucketing() bool { return ic.mode != IndexLinear }
 
 // metricIndexable reports whether cell-level pruning and the candidate
@@ -102,13 +104,117 @@ func metricIndexable(m space.Metric) bool {
 	}
 }
 
-// bucket is one occupied lattice cell of a shard state: the cell
-// coordinates (for distance pruning) and the indices of the entries that
-// fall inside it. Buckets are immutable once published; withEntry
-// replaces the grown bucket wholesale.
-type bucket struct {
-	cell    []int
-	entries []int32
+// minTableSize is the initial slot count of the shared hash tables.
+const minTableSize = 8
+
+// table is an insert-only open-addressing hash index shared by every
+// view published since its creation (a regrow starts a new table; older
+// views keep the smaller one, which already covers every entry they can
+// see). Slots are written only under the shard writer lock and probed by
+// readers with atomic loads: a reader that observes an entry inserted
+// after its view was published filters it out by position, so the shared
+// mutation is invisible. Slots are never cleared — Reset replaces the
+// whole builder — which keeps reader probes terminating (the writer
+// regrows before the table can fill).
+//
+// The same structure serves two indexes: the key table (one slot per
+// distinct configuration, holding its newest version) and the cell table
+// (one slot per occupied lattice cell, holding the newest entry of the
+// cell, off which the older ones chain via prevInCell).
+type table struct {
+	mask  uint64
+	slots []atomic.Pointer[shardEntry]
+}
+
+func newTable(size int) *table {
+	return &table{mask: uint64(size - 1), slots: make([]atomic.Pointer[shardEntry], size)}
+}
+
+// start maps a hash to its initial probe slot. The raw FNV hash cannot
+// be used as-is: every entry of one shard shares its low bits (that is
+// how it was routed to the shard), so a 64-bit finalizer decorrelates
+// them first.
+func (t *table) start(hash uint64) uint64 {
+	hash ^= hash >> 33
+	hash *= 0xff51afd7ed558ccd
+	hash ^= hash >> 33
+	return hash & t.mask
+}
+
+// overloaded reports whether the table must regrow before holding
+// occupied+... entries (load factor capped at 2/3 so probes stay short
+// and never cycle).
+func (t *table) overloaded(occupied int) bool {
+	return uint64(occupied)*3 > (t.mask+1)*2
+}
+
+// regrow reinserts every slot into a table twice the size. Older views
+// keep the previous table untouched.
+func (t *table) regrow(hashOf func(*shardEntry) uint64) *table {
+	nt := newTable(int(t.mask+1) * 2)
+	for i := range t.slots {
+		e := t.slots[i].Load()
+		if e == nil {
+			continue
+		}
+		h := hashOf(e)
+		for j := nt.start(h); ; j = (j + 1) & nt.mask {
+			if nt.slots[j].Load() == nil {
+				nt.slots[j].Store(e)
+				break
+			}
+		}
+	}
+	return nt
+}
+
+// findConfig returns the newest version of cfg, or nil.
+func (t *table) findConfig(hash uint64, cfg space.Config) *shardEntry {
+	for i := t.start(hash); ; i = (i + 1) & t.mask {
+		e := t.slots[i].Load()
+		if e == nil {
+			return nil
+		}
+		if e.hash == hash && e.cfg.Equal(cfg) {
+			return e
+		}
+	}
+}
+
+// storeConfig publishes e as the newest version of its configuration.
+func (t *table) storeConfig(hash uint64, e *shardEntry) {
+	for i := t.start(hash); ; i = (i + 1) & t.mask {
+		old := t.slots[i].Load()
+		if old == nil || (old.hash == hash && old.cfg.Equal(e.cfg)) {
+			t.slots[i].Store(e)
+			return
+		}
+	}
+}
+
+// findCell returns the chain head of lattice cell cc, or nil.
+func (t *table) findCell(hash uint64, cc []int, edge int) *shardEntry {
+	for i := t.start(hash); ; i = (i + 1) & t.mask {
+		e := t.slots[i].Load()
+		if e == nil {
+			return nil
+		}
+		if inCell(e.cfg, cc, edge) {
+			return e
+		}
+	}
+}
+
+// storeCell publishes e as the chain head of its cell (cc must be e's
+// cell coordinates).
+func (t *table) storeCell(hash uint64, cc []int, edge int, e *shardEntry) {
+	for i := t.start(hash); ; i = (i + 1) & t.mask {
+		old := t.slots[i].Load()
+		if old == nil || inCell(old.cfg, cc, edge) {
+			t.slots[i].Store(e)
+			return
+		}
+	}
 }
 
 // floorDiv is integer division rounding toward negative infinity, so
@@ -121,45 +227,52 @@ func floorDiv(a, c int) int {
 	return q
 }
 
-// cellOf maps a configuration to its lattice cell coordinates.
+// cellOf maps a configuration to freshly allocated lattice cell
+// coordinates.
 func cellOf(c space.Config, cell int) []int {
-	out := make([]int, len(c))
-	for i, v := range c {
-		out[i] = floorDiv(v, cell)
-	}
-	return out
+	return cellOfInto(nil, c, cell)
 }
 
-// cellKeyAppend appends the canonical key of a cell coordinate vector,
-// mirroring space.Config.Key's "a,b,c" encoding.
-func cellKeyAppend(dst []byte, cell []int) []byte {
-	for i, v := range cell {
-		if i > 0 {
-			dst = append(dst, ',')
-		}
-		dst = strconv.AppendInt(dst, int64(v), 10)
+// cellOfInto maps a configuration to its lattice cell coordinates,
+// reusing dst's backing array.
+func cellOfInto(dst []int, c space.Config, cell int) []int {
+	dst = dst[:0]
+	for _, v := range c {
+		dst = append(dst, floorDiv(v, cell))
 	}
 	return dst
 }
 
-// withBucket returns a copy of buckets with idx appended to the cell's
-// bucket. The shared buckets (and their entry slices) are never mutated:
-// concurrent readers hold references to the previous state.
-func withBucket(buckets map[string]*bucket, cell []int, idx int32) map[string]*bucket {
-	key := string(cellKeyAppend(nil, cell))
-	out := make(map[string]*bucket, len(buckets)+1)
-	for k, v := range buckets {
-		out[k] = v
+// inCell reports whether configuration c lies in the lattice cell cc.
+func inCell(c space.Config, cc []int, edge int) bool {
+	if len(c) != len(cc) {
+		return false
 	}
-	if old, ok := out[key]; ok {
-		entries := make([]int32, len(old.entries)+1)
-		copy(entries, old.entries)
-		entries[len(old.entries)] = idx
-		out[key] = &bucket{cell: old.cell, entries: entries}
-	} else {
-		out[key] = &bucket{cell: cell, entries: []int32{idx}}
+	for i, v := range c {
+		if floorDiv(v, edge) != cc[i] {
+			return false
+		}
 	}
-	return out
+	return true
+}
+
+// hashCellCoords hashes cell coordinates; hashCellOf is the same hash
+// computed straight from a configuration, without materialising the
+// coordinates.
+func hashCellCoords(cc []int) uint64 {
+	h := fnv1a.Offset
+	for _, v := range cc {
+		h = fnv1a.Mix(h, uint64(int64(v)))
+	}
+	return h
+}
+
+func hashCellOf(c space.Config, edge int) uint64 {
+	h := fnv1a.Offset
+	for _, v := range c {
+		h = fnv1a.Mix(h, uint64(int64(floorDiv(v, edge))))
+	}
+	return h
 }
 
 // cellMinDist returns the minimum possible distance from query point w to
@@ -226,22 +339,22 @@ func useIndex(states []*shardState, metric space.Metric, ic indexConfig, d float
 	}
 	total := 0
 	for _, st := range states {
-		total += len(st.entries)
+		total += st.live
 	}
 	return total >= ic.minIndexed
 }
 
-// neighborsIndexed answers a radius query from the lattice buckets. Two
+// neighborsIndexed answers a radius query from the lattice cells. Two
 // strategies cover the dimensionality spectrum: enumerating the candidate
 // ring of cells around the query (cheap in low dimension, where the ring
-// is small) and sweeping the occupied buckets with cell-level distance
+// is small) and sweeping the occupied cells with cell-level distance
 // pruning (the ring grows as (2r+1)^Nv, so past the occupancy count the
 // sweep is strictly cheaper). Both verify the exact metric distance of
 // every candidate entry, so results are identical to the linear scan.
 func neighborsIndexed(states []*shardState, metric space.Metric, ic indexConfig, w space.Config, d float64) *Neighborhood {
 	occupied := 0
 	for _, st := range states {
-		occupied += len(st.buckets)
+		occupied += st.nCells
 	}
 	r := int(math.Ceil(d / float64(ic.cell)))
 	var hits []hit
@@ -269,8 +382,8 @@ func ringSize(nv, r, limit int) int {
 
 // collectRing enumerates every cell within r cells of the query's cell on
 // each axis (an odometer over the (2r+1)^Nv box), prunes cells whose
-// minimum distance already exceeds d, and looks surviving keys up in
-// every shard state. Keys are built once and shared across shards.
+// minimum distance already exceeds d, and probes surviving cells in every
+// shard state. The cell hash is computed once and shared across shards.
 func collectRing(states []*shardState, metric space.Metric, ic indexConfig, w space.Config, d float64, r int) []hit {
 	qc := cellOf(w, ic.cell)
 	nv := len(qc)
@@ -279,18 +392,19 @@ func collectRing(states []*shardState, metric space.Metric, ic indexConfig, w sp
 		off[i] = -r
 	}
 	cc := make([]int, nv)
-	var keyBuf []byte
 	var hits []hit
 	for {
 		for i, o := range off {
 			cc[i] = qc[i] + o
 		}
 		if cellMinDist(metric, w, cc, ic.cell) <= d {
-			keyBuf = cellKeyAppend(keyBuf[:0], cc)
-			key := string(keyBuf)
+			h := hashCellCoords(cc)
 			for _, st := range states {
-				if b, ok := st.buckets[key]; ok {
-					hits = appendBucketHits(hits, st, b, metric, w, d)
+				if st.cells == nil {
+					continue
+				}
+				if head := st.cells.findCell(h, cc, ic.cell); head != nil {
+					hits = appendChainHits(hits, st, head, metric, w, d)
 				}
 			}
 		}
@@ -309,28 +423,41 @@ func collectRing(states []*shardState, metric space.Metric, ic indexConfig, w sp
 	}
 }
 
-// collectSweep walks every occupied bucket of every shard state and
-// prunes whole cells by their minimum distance to the query. Map
-// iteration order is arbitrary, which is fine: finishHits restores the
-// global insertion order from the per-entry sequence numbers.
+// collectSweep walks every occupied cell of every shard state and prunes
+// whole cells by their minimum distance to the query. Slot order is
+// arbitrary, which is fine: finishHits restores the global insertion
+// order from the per-entry sequence numbers.
 func collectSweep(states []*shardState, metric space.Metric, ic indexConfig, w space.Config, d float64) []hit {
 	var hits []hit
+	var cc []int
 	for _, st := range states {
-		for _, b := range st.buckets {
-			if cellMinDist(metric, w, b.cell, ic.cell) > d {
+		if st.cells == nil {
+			continue
+		}
+		for i := range st.cells.slots {
+			head := st.cells.slots[i].Load()
+			if head == nil {
 				continue
 			}
-			hits = appendBucketHits(hits, st, b, metric, w, d)
+			cc = cellOfInto(cc, head.cfg, ic.cell)
+			if cellMinDist(metric, w, cc, ic.cell) > d {
+				continue
+			}
+			hits = appendChainHits(hits, st, head, metric, w, d)
 		}
 	}
 	return hits
 }
 
-// appendBucketHits exact-checks each entry of one bucket against the
-// query, appending those within range.
-func appendBucketHits(hits []hit, st *shardState, b *bucket, metric space.Metric, w space.Config, d float64) []hit {
-	for _, idx := range b.entries {
-		e := &st.entries[idx]
+// appendChainHits walks one cell's chain from its head, skipping entries
+// beyond the view and superseded versions, and exact-checks the rest
+// against the query.
+func appendChainHits(hits []hit, st *shardState, head *shardEntry, metric space.Metric, w space.Config, d float64) []hit {
+	n := len(st.entries)
+	for e := head; e != nil; e = e.prevInCell {
+		if int(e.pos) >= n || !e.live(n) {
+			continue
+		}
 		if dist := metric.Distance(w, e.cfg); dist <= d {
 			hits = append(hits, hit{e: e, dist: dist})
 		}
@@ -339,7 +466,8 @@ func appendBucketHits(hits []hit, st *shardState, b *bucket, metric space.Metric
 }
 
 // finishHits sorts collected hits into global insertion order (sequence
-// numbers are unique, so the order is total) and packs the Neighborhood.
+// numbers are unique within a view, so the order is total) and packs the
+// Neighborhood.
 func finishHits(hits []hit) *Neighborhood {
 	sort.Slice(hits, func(a, b int) bool { return hits[a].e.seq < hits[b].e.seq })
 	nb := &Neighborhood{

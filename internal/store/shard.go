@@ -15,74 +15,192 @@ import (
 // per-query shard sweep cheap.
 const DefaultShardCount = 16
 
-// shardEntry is one stored configuration inside a shard state. The float
-// coordinates are precomputed at insertion so radius scans hand the
+// shardEntry is one stored configuration version inside a shard. The
+// float coordinates are precomputed at insertion so radius scans hand the
 // kriging support out without per-query conversion or allocation; the
 // sequence number recovers the global insertion order across shards.
+//
+// Entries are immutable after publication with one exception, replacedBy,
+// which is why that field alone is atomic. Every other field is written
+// exactly once, before the entry becomes reachable from any atomic slot
+// or published shard state, so lock-free readers that arrive through an
+// atomic load observe it fully initialised.
 type shardEntry struct {
 	cfg    space.Config
 	coords []float64
 	lambda float64
-	seq    uint64
+	hash   uint64 // hashConfig(cfg), kept for table regrows
+	seq    uint64 // global insertion stamp (overwrites keep the original)
+	pos    int32  // append position within the owning shard
+	// prevVersion links to the entry this one overwrote (same cfg, same
+	// seq). Readers whose view predates this version walk the chain back
+	// to the version that was current at their epoch.
+	prevVersion *shardEntry
+	// prevInCell links to the previously inserted entry of the same
+	// lattice cell; the cell table always holds the newest entry of each
+	// cell, so a bucket is the chain hanging off that head.
+	prevInCell *shardEntry
+	// replacedBy holds pos+1 of the entry that overwrote this one (0 =
+	// still current). A view of n entries treats the entry as live unless
+	// its replacement is itself inside the view (replacedBy <= n).
+	replacedBy atomic.Int32
 }
 
-// shardState is an immutable snapshot of one shard. Writers build a new
-// state (copy + mutation) and publish it atomically; readers load the
-// pointer and scan without synchronisation.
+// live reports whether e is the current version of its configuration in
+// a view containing n entries.
+func (e *shardEntry) live(n int) bool {
+	rb := e.replacedBy.Load()
+	return rb == 0 || int(rb) > n
+}
+
+// shardState is an immutable view of one shard, published atomically
+// after every write (once per shard per AddBatch). The entries slice is a
+// prefix of the builder's append-only backing array: later appends write
+// beyond its length, never inside it, so the view stays frozen at zero
+// copying cost. The hash tables are shared with newer views — their slots
+// only ever gain entries, which readers filter out by position — so a
+// view is pinned entirely by its entries length (its epoch).
 type shardState struct {
-	entries []shardEntry
-	index   map[string]int // config key -> entries index
-	// buckets is the lattice-bucket spatial index: occupied cell key ->
-	// entry indices. nil when the store runs with IndexLinear (or the
-	// shard is empty); rebuilt copy-on-write alongside entries/index.
-	buckets map[string]*bucket
+	entries []*shardEntry // visible prefix, append order
+	keys    *table        // config -> newest version
+	cells   *table        // lattice cell -> newest entry (nil: no buckets)
+	live    int           // distinct configurations in this view
+	nCells  int           // occupied lattice cells at publication
 }
 
-var emptyShardState = &shardState{index: map[string]int{}}
+var emptyShardState = &shardState{}
 
-// shard pairs the published state with the writer lock that serialises
-// copy-on-write updates.
+// lookup resolves an exact configuration match within the view.
+func (st *shardState) lookup(hash uint64, c space.Config) (float64, bool) {
+	t := st.keys
+	if t == nil {
+		return 0, false
+	}
+	n := len(st.entries)
+	for i := t.start(hash); ; i = (i + 1) & t.mask {
+		e := t.slots[i].Load()
+		if e == nil {
+			return 0, false
+		}
+		if e.hash != hash || !e.cfg.Equal(c) {
+			continue // different config probing the same slot
+		}
+		// The slot holds the newest version; rewind to the newest one
+		// this view contains.
+		for e != nil && int(e.pos) >= n {
+			e = e.prevVersion
+		}
+		if e == nil {
+			return 0, false
+		}
+		return e.lambda, true
+	}
+}
+
+// shard pairs the published view with the writer-owned builder and the
+// lock that serialises writers.
 type shard struct {
 	mu    sync.Mutex
 	state atomic.Pointer[shardState]
+	b     shardBuilder
 }
 
-// withEntry returns a copy of the state with (cfg, lambda, seq) inserted,
-// or with the existing entry's value overwritten when cfg is present.
-// key must be cfg.Key() (precomputed by the caller for shard selection).
-// When ic keeps lattice buckets, the new entry is also bucketed into a
-// copy of the spatial index; an overwrite leaves the index untouched
-// (entry positions are stable).
-func (st *shardState) withEntry(key string, cfg space.Config, lambda float64, seq uint64, ic indexConfig) (next *shardState, added bool) {
-	entries := make([]shardEntry, len(st.entries), len(st.entries)+1)
-	copy(entries, st.entries)
-	if i, ok := st.index[key]; ok {
-		entries[i].lambda = lambda
-		return &shardState{entries: entries, index: st.index, buckets: st.buckets}, false
+// shardBuilder is the private mutable state of one shard, guarded by the
+// shard mutex. It appends entries with capacity doubling and updates the
+// key and cell tables incrementally, so an insert is amortized O(1); the
+// immutable views it publishes share all of that structure.
+type shardBuilder struct {
+	entries []*shardEntry
+	keys    *table
+	cells   *table
+	live    int
+	nCells  int
+	cellBuf []int // scratch cell coordinates, reused across inserts
+}
+
+// insert records (cfg, lambda) in the builder without publishing. A new
+// configuration consumes seq; re-adding an existing one appends a
+// replacement version that keeps the original sequence stamp (so the
+// global insertion order is stable) and reports added=false.
+func (b *shardBuilder) insert(hash uint64, cfg space.Config, lambda float64, seq uint64, ic indexConfig) (added bool) {
+	if b.keys == nil {
+		b.keys = newTable(minTableSize)
 	}
-	index := make(map[string]int, len(st.index)+1)
-	for k, v := range st.index {
-		index[k] = v
-	}
-	index[key] = len(entries)
+	prev := b.keys.findConfig(hash, cfg)
 	c := cfg.Clone()
-	entries = append(entries, shardEntry{cfg: c, coords: c.Floats(), lambda: lambda, seq: seq})
-	next = &shardState{entries: entries, index: index}
-	if ic.bucketing() {
-		next.buckets = withBucket(st.buckets, cellOf(c, ic.cell), int32(len(entries)-1))
+	e := &shardEntry{
+		cfg:    c,
+		coords: c.Floats(),
+		lambda: lambda,
+		hash:   hash,
+		pos:    int32(len(b.entries)),
 	}
-	return next, true
+	if prev != nil {
+		e.seq = prev.seq
+		e.prevVersion = prev
+	} else {
+		e.seq = seq
+		if b.keys.overloaded(b.live + 1) {
+			b.keys = b.keys.regrow(func(o *shardEntry) uint64 { return o.hash })
+		}
+		b.live++
+	}
+	// Publication order matters for lock-free readers: every plain field
+	// of e (including its chain links) must be complete before the first
+	// atomic slot store makes it reachable — the cell-table store inside
+	// bucket() below, then the key-table store.
+	if ic.bucketing() {
+		b.bucket(e, ic.cell)
+	}
+	b.entries = append(b.entries, e)
+	b.keys.storeConfig(hash, e)
+	if prev != nil {
+		// Views published from here on contain e, so they must see its
+		// predecessor as superseded; older views filter the mark out
+		// because e.pos lies beyond their epoch.
+		prev.replacedBy.Store(e.pos + 1)
+	}
+	return prev == nil
 }
 
-// lookupStates resolves an exact configuration match against a frozen set
-// of shard states.
-func lookupStates(states []*shardState, mask uint64, c space.Config) (float64, bool) {
-	key := c.Key()
-	st := states[fnv1a.String(key)&mask]
-	if i, ok := st.index[key]; ok {
-		return st.entries[i].lambda, true
+// bucket threads e onto its lattice cell's chain and makes it the cell's
+// table head.
+func (b *shardBuilder) bucket(e *shardEntry, edge int) {
+	if b.cells == nil {
+		b.cells = newTable(minTableSize)
 	}
-	return 0, false
+	b.cellBuf = cellOfInto(b.cellBuf, e.cfg, edge)
+	h := hashCellCoords(b.cellBuf)
+	head := b.cells.findCell(h, b.cellBuf, edge)
+	if head == nil {
+		if b.cells.overloaded(b.nCells + 1) {
+			b.cells = b.cells.regrow(func(o *shardEntry) uint64 { return hashCellOf(o.cfg, edge) })
+		}
+		b.nCells++
+	}
+	e.prevInCell = head
+	b.cells.storeCell(h, b.cellBuf, edge, e)
+}
+
+// publish captures the builder as an immutable view.
+func (b *shardBuilder) publish() *shardState {
+	return &shardState{
+		entries: b.entries,
+		keys:    b.keys,
+		cells:   b.cells,
+		live:    b.live,
+		nCells:  b.nCells,
+	}
+}
+
+// hashConfig hashes a configuration for shard routing and key probing,
+// allocation-free (unlike hashing cfg.Key()).
+func hashConfig(c space.Config) uint64 {
+	h := fnv1a.Offset
+	for _, v := range c {
+		h = fnv1a.Mix(h, uint64(int64(v)))
+	}
+	return h
 }
 
 // neighborsStates collects every entry within distance <= d of w from a
@@ -91,7 +209,7 @@ func lookupStates(states []*shardState, mask uint64, c space.Config) (float64, b
 // scan; both produce bit-identical neighbourhoods (the sequence sort
 // restores the global insertion order so downstream tie-breaking —
 // NearestK keeps ties oldest-first — is independent of sharding and of
-// bucket iteration order).
+// cell iteration order).
 func neighborsStates(states []*shardState, metric space.Metric, ic indexConfig, w space.Config, d float64) *Neighborhood {
 	if useIndex(states, metric, ic, d) {
 		return neighborsIndexed(states, metric, ic, w, d)
@@ -100,12 +218,15 @@ func neighborsStates(states []*shardState, metric space.Metric, ic indexConfig, 
 }
 
 // neighborsLinear is the reference implementation: a full scan of every
-// entry, exactly as in the paper's pseudo-code.
+// live entry, exactly as in the paper's pseudo-code.
 func neighborsLinear(states []*shardState, metric space.Metric, w space.Config, d float64) *Neighborhood {
 	var hits []hit
 	for _, st := range states {
-		for i := range st.entries {
-			e := &st.entries[i]
+		n := len(st.entries)
+		for _, e := range st.entries {
+			if !e.live(n) {
+				continue
+			}
 			dist := metric.Distance(w, e.cfg)
 			if dist <= d {
 				hits = append(hits, hit{e: e, dist: dist})
@@ -119,7 +240,7 @@ func neighborsLinear(states []*shardState, metric space.Metric, w space.Config, 
 func entriesStates(states []*shardState) []Entry {
 	n := 0
 	for _, st := range states {
-		n += len(st.entries)
+		n += st.live
 	}
 	type seqEntry struct {
 		seq uint64
@@ -127,12 +248,16 @@ func entriesStates(states []*shardState) []Entry {
 	}
 	all := make([]seqEntry, 0, n)
 	for _, st := range states {
+		vn := len(st.entries)
 		for _, e := range st.entries {
+			if !e.live(vn) {
+				continue
+			}
 			all = append(all, seqEntry{seq: e.seq, e: Entry{Config: e.cfg, Lambda: e.lambda}})
 		}
 	}
 	sort.Slice(all, func(a, b int) bool { return all[a].seq < all[b].seq })
-	out := make([]Entry, n)
+	out := make([]Entry, len(all))
 	for i, se := range all {
 		out[i] = se.e
 	}

@@ -20,7 +20,7 @@ type Snapshot struct {
 func (sn Snapshot) Len() int {
 	n := 0
 	for _, st := range sn.states {
-		n += len(st.entries)
+		n += st.live
 	}
 	return n
 }
@@ -34,7 +34,8 @@ func (sn Snapshot) Lookup(c space.Config) (float64, bool) {
 	if len(sn.states) == 0 {
 		return 0, false
 	}
-	return lookupStates(sn.states, sn.mask, c)
+	hash := hashConfig(c)
+	return sn.states[hash&sn.mask].lookup(hash, c)
 }
 
 // Neighbors collects every configuration within distance <= d of w as of

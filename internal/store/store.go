@@ -3,7 +3,6 @@ package store
 import (
 	"sync/atomic"
 
-	"repro/internal/fnv1a"
 	"repro/internal/space"
 )
 
@@ -18,7 +17,7 @@ type Entry struct {
 // is not used for kriging other configurations" (paper, §III-B.1).
 //
 // A Store is safe for concurrent use by multiple goroutines; see the
-// package documentation for the sharding and copy-on-write scheme.
+// package documentation for the sharding and builder/epoch write scheme.
 type Store struct {
 	shards []shard
 	mask   uint64 // len(shards)-1; len is a power of two
@@ -100,19 +99,19 @@ func (s *Store) IndexInfo() (mode IndexMode, cellSize int) {
 	return s.ic.mode, s.ic.cell
 }
 
-// shardFor selects the shard owning key.
-func (s *Store) shardFor(key string) *shard {
-	return &s.shards[fnv1a.String(key)&s.mask]
-}
-
 // Add records a simulated configuration and its metric value. Re-adding
 // an existing configuration overwrites its value and reports false.
+//
+// Inserts are amortized O(1): the shard's writer mutates its private
+// builder (append-only entries, incremental key/cell tables) under the
+// shard lock and publishes a fresh immutable view, instead of copying
+// the shard. Lock-free readers keep whatever view they loaded.
 func (s *Store) Add(c space.Config, lambda float64) (added bool) {
-	key := c.Key()
-	sh := s.shardFor(key)
+	hash := hashConfig(c)
+	sh := &s.shards[hash&s.mask]
 	sh.mu.Lock()
-	next, added := sh.state.Load().withEntry(key, c, lambda, s.seq.Add(1), s.ic)
-	sh.state.Store(next)
+	added = sh.b.insert(hash, c, lambda, s.seq.Add(1), s.ic)
+	sh.state.Store(sh.b.publish())
 	sh.mu.Unlock()
 	if added {
 		s.count.Add(1)
@@ -120,14 +119,57 @@ func (s *Store) Add(c space.Config, lambda float64) (added bool) {
 	return added
 }
 
+// AddBatch records a batch of simulated configurations with ONE view
+// publication per touched shard, the bulk-load path for replayed traces,
+// restored stores and batch-evaluation commits. Entries are stamped in
+// input order, so the resulting store is indistinguishable from calling
+// Add in a loop (same global sequence, same overwrite semantics — a
+// configuration repeated inside the batch keeps the last value at the
+// first occurrence's insertion rank). It returns the number of entries
+// that were new configurations.
+//
+// Concurrent readers are never blocked and observe, per shard, either
+// the pre-batch view or the post-batch view — a consistent prefix of
+// that shard's final insertion sequence, never a torn intermediate.
+func (s *Store) AddBatch(entries []Entry) (added int) {
+	if len(entries) == 0 {
+		return 0
+	}
+	type pending struct {
+		hash, seq uint64
+		cfg       space.Config
+		lambda    float64
+	}
+	// Group per shard, preserving input order (and assigning the global
+	// sequence stamps in input order).
+	byShard := make([][]pending, len(s.shards))
+	for _, e := range entries {
+		h := hashConfig(e.Config)
+		si := h & s.mask
+		byShard[si] = append(byShard[si], pending{hash: h, seq: s.seq.Add(1), cfg: e.Config, lambda: e.Lambda})
+	}
+	for si, ps := range byShard {
+		if len(ps) == 0 {
+			continue
+		}
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		for _, p := range ps {
+			if sh.b.insert(p.hash, p.cfg, p.lambda, p.seq, s.ic) {
+				added++
+			}
+		}
+		sh.state.Store(sh.b.publish())
+		sh.mu.Unlock()
+	}
+	s.count.Add(int64(added))
+	return added
+}
+
 // Lookup returns the stored value for an exact configuration match.
 func (s *Store) Lookup(c space.Config) (float64, bool) {
-	key := c.Key()
-	st := s.shardFor(key).state.Load()
-	if i, ok := st.index[key]; ok {
-		return st.entries[i].lambda, true
-	}
-	return 0, false
+	hash := hashConfig(c)
+	return s.shards[hash&s.mask].state.Load().lookup(hash, c)
 }
 
 // loadStates captures the current state of every shard without locking.
@@ -171,7 +213,8 @@ func (s *Store) AllSamples() *Neighborhood {
 }
 
 // Snapshot freezes the current contents. The snapshot is immutable: later
-// Adds to the store are invisible to it, at zero copying cost.
+// Adds to the store — including overwrites of configurations it contains —
+// are invisible to it, at zero copying cost.
 func (s *Store) Snapshot() Snapshot {
 	return Snapshot{states: s.loadStates(), mask: s.mask, metric: s.metric, ic: s.ic}
 }
@@ -182,7 +225,8 @@ func (s *Store) Reset() {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
-		n := len(sh.state.Load().entries)
+		n := sh.b.live
+		sh.b = shardBuilder{}
 		sh.state.Store(emptyShardState)
 		sh.mu.Unlock()
 		s.count.Add(int64(-n))

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Docs gate: every package path (internal/*, cmd/*, examples/*) that
+# docs/ARCHITECTURE.md or README.md references must exist in the tree,
+# so the architecture docs cannot silently rot as packages move.
+#
+# Run from the repository root:  sh scripts/check_docs.sh
+set -eu
+
+fail=0
+for doc in docs/ARCHITECTURE.md README.md; do
+    if [ ! -f "$doc" ]; then
+        echo "missing $doc"
+        fail=1
+        continue
+    fi
+    for ref in $(grep -oE '(internal|cmd|examples)/[a-z0-9_]+' "$doc" | sort -u); do
+        if [ ! -d "$ref" ]; then
+            echo "$doc references missing package: $ref"
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -eq 0 ]; then
+    echo "docs gate OK"
+fi
+exit "$fail"
