@@ -16,6 +16,7 @@ package repro
 // replay itself.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -46,7 +47,7 @@ func recordedResult(b *testing.B, name string) (*bench.Spec, *bench.BenchmarkRes
 	if res, ok := traceCache[name]; ok {
 		return sp, res
 	}
-	res, err := bench.RunBenchmark(sp, bench.Table1Options{Seed: 1})
+	res, err := bench.RunBenchmark(context.Background(), sp, bench.Table1Options{Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func BenchmarkTable1SqueezeNet(b *testing.B) { benchTable1(b, "squeezenet") }
 
 func BenchmarkFigure1Surface(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		s, err := bench.RunFigure1(bench.Figure1Options{Seed: 1, Samples: 256, MinWL: 4, MaxWL: 12})
+		s, err := bench.RunFigure1(context.Background(), bench.Figure1Options{Seed: 1, Samples: 256, MinWL: 4, MaxWL: 12})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -91,7 +92,7 @@ func BenchmarkSpeedupModel(b *testing.B) {
 	for _, name := range []string{"fir", "iir", "fft"} {
 		sp, res := recordedResult(b, name)
 		b.ResetTimer()
-		row, err := bench.MeasureSpeedup(sp, res, 3, 1)
+		row, err := bench.MeasureSpeedup(context.Background(), sp, res, 3, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -100,7 +101,7 @@ func BenchmarkSpeedupModel(b *testing.B) {
 	b.Log("\n" + bench.RenderSpeedup(rows))
 	for i := 0; i < b.N; i++ {
 		sp, res := recordedResult(b, "fir")
-		if _, err := bench.MeasureSpeedup(sp, res, 3, 1); err != nil {
+		if _, err := bench.MeasureSpeedup(context.Background(), sp, res, 3, 1); err != nil {
 			b.Fatal(err)
 		}
 	}

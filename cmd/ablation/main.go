@@ -15,6 +15,7 @@ import (
 	"log"
 
 	"repro/internal/bench"
+	"repro/internal/cli"
 	"repro/internal/evaluator"
 	"repro/internal/variogram"
 )
@@ -23,34 +24,40 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ablation: ")
 	var (
-		benchName = flag.String("bench", "fir", "benchmark: fir, iir, fft, hevc or squeezenet")
-		d         = flag.Float64("d", 3, "neighbourhood radius")
-		sizeName  = flag.String("size", "small", "benchmark size")
-		seed      = flag.Uint64("seed", 1, "experiment seed")
+		common = cli.AddCommon("fir", "benchmark: fir, iir, fft, hevc or squeezenet")
+		d      = flag.Float64("d", 3, "neighbourhood radius")
 	)
 	flag.Parse()
-	size := bench.Small
-	if *sizeName == "full" {
-		size = bench.Full
-	}
-	sp, err := bench.SpecByName(*benchName, size)
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	sp, err := common.Spec()
 	if err != nil {
 		log.Fatal(err)
 	}
-	trace, err := sp.Record(*seed)
+	trace, err := sp.Record(ctx, common.Seed)
 	if err != nil {
-		log.Fatal(err)
+		cli.Fail(err)
 	}
 	fmt.Printf("%s: %d recorded configurations, d=%v\n\n", sp.Name, len(trace), *d)
 
 	var rows []bench.AblationRow
 
+	// The replay stages are CPU-bound (no simulator), so cancellation
+	// lands between stages.
+	stage := func() {
+		if err := ctx.Err(); err != nil {
+			cli.Fail(err)
+		}
+	}
+
+	stage()
 	nn, err := bench.AblateNnMin(sp, trace, *d, []int{1, 2, 3})
 	if err != nil {
 		log.Fatal(err)
 	}
 	rows = append(rows, nn...)
 
+	stage()
 	vg, err := bench.AblateVariogram(sp, trace, *d, []variogram.Kind{
 		variogram.Power, variogram.Linear, variogram.Spherical,
 		variogram.Exponential, variogram.Gaussian,
@@ -60,6 +67,7 @@ func main() {
 	}
 	rows = append(rows, vg...)
 
+	stage()
 	ip, err := bench.AblateInterpolator(sp, trace, *d)
 	if err != nil {
 		log.Fatal(err)
@@ -76,6 +84,7 @@ func main() {
 		{"mode=finalsim", bench.Table1Options{Distances: []float64{*d}, Mode: evaluator.ModeFinalSim}},
 		{"mode=live", bench.Table1Options{Distances: []float64{*d}, Mode: evaluator.ModeLive}},
 	} {
+		stage()
 		res, err := bench.ReplayTrace(sp, trace, variant.opts)
 		if err != nil {
 			log.Fatal(err)

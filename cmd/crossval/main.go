@@ -13,7 +13,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/bench"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/evaluator"
 	"repro/internal/variogram"
@@ -23,21 +23,17 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("crossval: ")
 	var (
-		benchName = flag.String("bench", "fir", "benchmark: fir, iir, fft, hevc or squeezenet")
-		pilot     = flag.Int("pilot", 32, "pilot sample size")
-		sizeName  = flag.String("size", "small", "benchmark size")
-		seed      = flag.Uint64("seed", 1, "experiment seed")
+		common = cli.AddCommon("fir", "benchmark: fir, iir, fft, hevc or squeezenet")
+		pilot  = flag.Int("pilot", 32, "pilot sample size")
 	)
 	flag.Parse()
-	size := bench.Small
-	if *sizeName == "full" {
-		size = bench.Full
-	}
-	sp, err := bench.SpecByName(*benchName, size)
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	sp, err := common.Spec()
 	if err != nil {
 		log.Fatal(err)
 	}
-	sim, err := sp.NewSimulator(*seed)
+	sim, err := sp.NewSimulator(common.Seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,6 +44,11 @@ func main() {
 		variogram.Power, variogram.Linear, variogram.Spherical,
 		variogram.Exponential, variogram.Gaussian,
 	} {
+		// The pilot pipeline is not context-aware, so cancellation lands
+		// between variogram families — each family is one small pilot.
+		if err := ctx.Err(); err != nil {
+			cli.Fail(err)
+		}
 		opts := core.Options{D: 3, Kind: kind}
 		if sp.ErrKind == evaluator.ErrorBits {
 			opts.Transform = evaluator.NegPowerToDB
@@ -60,7 +61,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := p.RunPilot(*pilot, *seed); err != nil {
+		if err := p.RunPilot(*pilot, common.Seed); err != nil {
 			log.Fatal(err)
 		}
 		id, err := p.Identify()

@@ -14,26 +14,30 @@ import (
 	"log"
 
 	"repro/internal/bench"
+	"repro/internal/cli"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figure1: ")
 	var (
-		seed    = flag.Uint64("seed", 1, "experiment seed")
 		samples = flag.Int("samples", 1024, "input samples per configuration")
 		minWL   = flag.Int("min", 2, "lowest word-length")
 		maxWL   = flag.Int("max", 16, "highest word-length")
 	)
+	var seed uint64
+	cli.AddSeed(&seed)
 	flag.Parse()
-	s, err := bench.RunFigure1(bench.Figure1Options{
-		Seed:    *seed,
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	s, err := bench.RunFigure1(ctx, bench.Figure1Options{
+		Seed:    seed,
 		Samples: *samples,
 		MinWL:   *minWL,
 		MaxWL:   *maxWL,
 	})
 	if err != nil {
-		log.Fatal(err)
+		cli.Fail(err)
 	}
 	fmt.Print(s.RenderCSV())
 }

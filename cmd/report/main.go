@@ -14,32 +14,33 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/cli"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("report: ")
 	var (
-		sizeName = flag.String("size", "small", "benchmark size: small or full")
-		seed     = flag.Uint64("seed", 1, "experiment seed")
-		benches  = flag.String("bench", "", "comma-separated benchmark subset; empty runs all five")
+		common   = cli.AddCommon("", "comma-separated benchmark subset; empty runs all five")
 		ablateOn = flag.String("ablate", "fir", "benchmark the ablation studies replay")
 	)
 	flag.Parse()
-	size := bench.Small
-	if *sizeName == "full" {
-		size = bench.Full
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	size, err := common.Size()
+	if err != nil {
+		log.Fatal(err)
 	}
 	var names []string
-	if *benches != "" {
-		names = strings.Split(*benches, ",")
+	if common.BenchName != "" {
+		names = strings.Split(common.BenchName, ",")
 	}
-	if err := bench.WriteReport(os.Stdout, bench.ReportOptions{
-		Seed:       *seed,
+	if err := bench.WriteReport(ctx, os.Stdout, bench.ReportOptions{
+		Seed:       common.Seed,
 		Size:       size,
 		Benchmarks: names,
 		AblateOn:   *ablateOn,
 	}); err != nil {
-		log.Fatal(err)
+		cli.Fail(err)
 	}
 }

@@ -9,10 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
+	"repro/internal/cli"
 	"repro/internal/evaluator"
 	"repro/internal/metrics"
 	"repro/internal/nn"
@@ -27,16 +29,19 @@ func main() {
 		images    = flag.Int("images", 200, "input data set size (the paper uses 1000)")
 		pcl       = flag.Float64("pcl", 0.9, "minimum classification-agreement probability")
 		d         = flag.Float64("d", 3, "kriging neighbourhood radius (L1)")
-		seed      = flag.Uint64("seed", 1, "experiment seed")
 		noKriging = flag.Bool("nokriging", false, "disable interpolation (simulation only)")
 		model     = flag.String("model", "gaussian", "error model: gaussian, uniform or timing")
 	)
+	var seed uint64
+	cli.AddSeed(&seed)
 	flag.Parse()
+	ctx, stop := cli.SignalContext()
+	defer stop()
 	kind, err := nn.ParseInjectorKind(*model)
 	if err != nil {
 		log.Fatal(err)
 	}
-	b, err := nn.NewSensitivityBenchmark(*seed, *images)
+	b, err := nn.NewSensitivityBenchmark(seed, *images)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,19 +58,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	oracle := optim.OracleFunc(func(cfg space.Config) (float64, error) {
-		res, err := ev.Evaluate(cfg)
+	oracle := optim.ContextOracleFunc(func(ctx context.Context, cfg space.Config) (float64, error) {
+		res, err := ev.EvaluateContext(ctx, cfg)
 		if err != nil {
 			return 0, err
 		}
 		return res.Lambda, nil
 	})
-	res, err := optim.NoiseBudget(oracle, optim.NoiseBudgetOptions{
+	res, err := optim.NoiseBudget(ctx, oracle, optim.NoiseBudgetOptions{
 		LambdaMin: *pcl,
 		Bounds:    b.Bounds(),
 	})
 	if err != nil {
-		log.Fatal(err)
+		cli.Fail(err)
 	}
 	st := ev.Stats()
 	fmt.Printf("images         : %d\n", *images)

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -17,15 +18,16 @@ import (
 	"path/filepath"
 
 	"repro/internal/bench"
+	"repro/internal/cli"
 	"repro/internal/evaluator"
 )
 
 // obtainTrace loads the benchmark's trajectory from traceDir when a file
 // exists there, and records (and saves) it otherwise. An empty traceDir
 // always records without persisting.
-func obtainTrace(sp *bench.Spec, seed uint64, traceDir string) (evaluator.Trace, bool, error) {
+func obtainTrace(ctx context.Context, sp *bench.Spec, seed uint64, traceDir string) (evaluator.Trace, bool, error) {
 	if traceDir == "" {
-		trace, err := sp.Record(seed)
+		trace, err := sp.Record(ctx, seed)
 		return trace, false, err
 	}
 	path := filepath.Join(traceDir, sp.Name+".json")
@@ -37,7 +39,7 @@ func obtainTrace(sp *bench.Spec, seed uint64, traceDir string) (evaluator.Trace,
 		}
 		return trace, true, nil
 	}
-	trace, err := sp.Record(seed)
+	trace, err := sp.Record(ctx, seed)
 	if err != nil {
 		return nil, false, err
 	}
@@ -59,46 +61,42 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("table1: ")
 	var (
-		benchName = flag.String("bench", "", "run a single benchmark (fir|iir|fft|hevc|hevc-ssim|squeezenet); empty runs all")
-		sizeName  = flag.String("size", "small", "benchmark size: small (fast) or full (paper-scale)")
-		seed      = flag.Uint64("seed", 1, "experiment seed")
-		nnMin     = flag.Int("nnmin", 1, "minimum-neighbour threshold Nn,min")
-		speedup   = flag.Bool("speedup", false, "also print the Eq. 2 speed-up model at d=3")
-		scaling   = flag.Bool("scaling", false, "also print the p%% vs Nv scaling study at d=3")
-		traceDir  = flag.String("tracedir", "", "directory of recorded trajectories: reuse <name>.json when present, record and save otherwise")
+		common   = cli.AddCommon("", "run a single benchmark (fir|iir|fft|hevc|hevc-ssim|squeezenet); empty runs all")
+		nnMin    = flag.Int("nnmin", 1, "minimum-neighbour threshold Nn,min")
+		speedup  = flag.Bool("speedup", false, "also print the Eq. 2 speed-up model at d=3")
+		scaling  = flag.Bool("scaling", false, "also print the p%% vs Nv scaling study at d=3")
+		traceDir = flag.String("tracedir", "", "directory of recorded trajectories: reuse <name>.json when present, record and save otherwise")
 	)
 	flag.Parse()
+	ctx, stop := cli.SignalContext()
+	defer stop()
 
-	size := bench.Small
-	switch *sizeName {
-	case "small":
-	case "full":
-		size = bench.Full
-	default:
-		log.Fatalf("unknown size %q (want small or full)", *sizeName)
+	size, err := common.Size()
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	var specs []*bench.Spec
-	if *benchName == "" {
+	if common.BenchName == "" {
 		all, err := bench.AllSpecs(size)
 		if err != nil {
 			log.Fatal(err)
 		}
 		specs = all
 	} else {
-		sp, err := bench.SpecByName(*benchName, size)
+		sp, err := common.Spec()
 		if err != nil {
 			log.Fatal(err)
 		}
 		specs = []*bench.Spec{sp}
 	}
 
-	opts := bench.Table1Options{Seed: *seed, NnMin: *nnMin}
+	opts := bench.Table1Options{Seed: common.Seed, NnMin: *nnMin}
 	var results []*bench.BenchmarkResult
 	for _, sp := range specs {
-		trace, fromDisk, err := obtainTrace(sp, *seed, *traceDir)
+		trace, fromDisk, err := obtainTrace(ctx, sp, common.Seed, *traceDir)
 		if err != nil {
-			log.Fatal(err)
+			cli.Fail(err)
 		}
 		if fromDisk {
 			fmt.Fprintf(os.Stderr, "%s: %d configurations loaded from %s\n",
@@ -118,9 +116,9 @@ func main() {
 	if *speedup {
 		var rows []bench.SpeedupRow
 		for i, res := range results {
-			row, err := bench.MeasureSpeedup(specs[i], res, 3, *seed)
+			row, err := bench.MeasureSpeedup(ctx, specs[i], res, 3, common.Seed)
 			if err != nil {
-				log.Fatal(err)
+				cli.Fail(err)
 			}
 			rows = append(rows, row)
 		}
@@ -129,9 +127,9 @@ func main() {
 	}
 
 	if *scaling {
-		rows, err := bench.ScalingStudy(nil, size, *seed, 3)
+		rows, err := bench.ScalingStudy(ctx, nil, size, common.Seed, 3)
 		if err != nil {
-			log.Fatal(err)
+			cli.Fail(err)
 		}
 		fmt.Println()
 		fmt.Print(bench.RenderScaling(rows, 3))

@@ -10,7 +10,8 @@
 //
 // With -workers > 1 (or 0 for GOMAXPROCS) the min+1 competition evaluates
 // its candidate word-length vectors as one parallel batch per greedy
-// round, so the optimisation scales across cores.
+// round, so the optimisation scales across cores. A first SIGINT/SIGTERM
+// cancels the run gracefully through the evaluation engine.
 package main
 
 import (
@@ -21,7 +22,7 @@ import (
 	"math"
 	"os"
 
-	"repro/internal/bench"
+	"repro/internal/cli"
 	"repro/internal/evaluator"
 	"repro/internal/optim"
 	"repro/internal/space"
@@ -31,30 +32,26 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("wlopt: ")
 	var (
-		benchName = flag.String("bench", "fir", "benchmark: fir, iir, fft or hevc")
+		common    = cli.AddCommon("fir", "benchmark: fir, iir, fft or hevc")
 		algo      = flag.String("algo", "minplus1", "optimiser: minplus1, max1, anneal or ga")
 		d         = flag.Float64("d", 3, "kriging neighbourhood radius (L1)")
 		nnMin     = flag.Int("nnmin", 1, "minimum-neighbour threshold")
 		lambdaDB  = flag.Float64("lambda", -40, "accuracy constraint: output noise power in dB")
-		sizeName  = flag.String("size", "small", "benchmark size: small or full")
-		seed      = flag.Uint64("seed", 1, "experiment seed")
 		noKriging = flag.Bool("nokriging", false, "disable interpolation (simulation only)")
 		refine    = flag.Bool("refine", false, "run a ±1 local search after the optimiser")
 		workers   = flag.Int("workers", 1, "parallel simulations per competition round (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if *benchName == "squeezenet" {
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	if common.BenchName == "squeezenet" {
 		log.Fatal("squeezenet is a sensitivity benchmark; use cmd/sensitivity")
 	}
-	size := bench.Small
-	if *sizeName == "full" {
-		size = bench.Full
-	}
-	sp, err := bench.SpecByName(*benchName, size)
+	sp, err := common.Spec()
 	if err != nil {
 		log.Fatal(err)
 	}
-	sim, err := sp.NewSimulator(*seed)
+	sim, err := sp.NewSimulator(common.Seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,49 +80,49 @@ func main() {
 	)
 	switch *algo {
 	case "minplus1":
-		res, err := optim.MinPlusOne(oracle, optim.MinPlusOneOptions{
+		res, err := optim.MinPlusOne(ctx, oracle, optim.MinPlusOneOptions{
 			LambdaMin: lambdaMin,
 			Bounds:    sp.Bounds,
 		})
 		if err != nil {
-			log.Fatal(err)
+			cli.Fail(err)
 		}
 		fmt.Printf("wmin           : %v\n", res.WMin)
 		wres, lambda, evaluations = res.WRes, res.Lambda, res.Evaluations
 	case "max1":
-		res, err := optim.MaxMinusOne(oracle, optim.MaxMinusOneOptions{
+		res, err := optim.MaxMinusOne(ctx, oracle, optim.MaxMinusOneOptions{
 			LambdaMin: lambdaMin,
 			Bounds:    sp.Bounds,
 		})
 		if err != nil {
-			log.Fatal(err)
+			cli.Fail(err)
 		}
 		wres, lambda, evaluations = res.WRes, res.Lambda, res.Evaluations
 	case "anneal":
-		res, err := optim.Anneal(oracle, optim.AnnealOptions{
+		res, err := optim.Anneal(ctx, oracle, optim.AnnealOptions{
 			LambdaMin: lambdaMin,
 			Bounds:    sp.Bounds,
-			Seed:      *seed,
+			Seed:      common.Seed,
 		})
 		if err != nil {
-			log.Fatal(err)
+			cli.Fail(err)
 		}
 		wres, lambda, evaluations = res.Best, res.Lambda, res.Evaluations
 	case "ga":
-		res, err := optim.Genetic(oracle, optim.GeneticOptions{
+		res, err := optim.Genetic(ctx, oracle, optim.GeneticOptions{
 			LambdaMin: lambdaMin,
 			Bounds:    sp.Bounds,
-			Seed:      *seed,
+			Seed:      common.Seed,
 		})
 		if err != nil {
-			log.Fatal(err)
+			cli.Fail(err)
 		}
 		wres, lambda, evaluations = res.Best, res.Lambda, res.Evaluations
 	default:
 		log.Fatalf("unknown algorithm %q (want minplus1, max1, anneal or ga)", *algo)
 	}
 	if *refine {
-		res, err := optim.LocalSearch(oracle, wres, optim.LocalSearchOptions{
+		res, err := optim.LocalSearch(ctx, oracle, wres, optim.LocalSearchOptions{
 			LambdaMin: lambdaMin,
 			Bounds:    sp.Bounds,
 		})
@@ -137,7 +134,7 @@ func main() {
 			// unrefined result rather than aborting.
 			fmt.Fprintln(os.Stderr, "wlopt: local search skipped (incumbent re-evaluated at the constraint boundary)")
 		case err != nil:
-			log.Fatal(err)
+			cli.Fail(err)
 		default:
 			wres, lambda = res.W, res.Lambda
 			evaluations += res.Evaluations

@@ -34,7 +34,7 @@ func main() {
 	// Record the simulation-only trajectory (the paper's protocol).
 	caching := evaluator.NewCachingSimulator(&signal.Simulator{B: b})
 	rec := &evaluator.RecordingSimulator{Inner: caching}
-	if _, err := repro.MinPlusOne(rec, optim.MinPlusOneOptions{
+	if _, err := repro.MinPlusOne(optim.OracleFunc(rec.Evaluate), optim.MinPlusOneOptions{
 		LambdaMin: -1e-4,
 		Bounds:    b.Bounds(),
 	}); err != nil {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -54,7 +55,7 @@ func getFIRResult(t *testing.T) *BenchmarkResult {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunBenchmark(sp, Table1Options{Seed: 1})
+	res, err := RunBenchmark(context.Background(), sp, Table1Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestMeasureSpeedup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	row, err := MeasureSpeedup(sp, res, 3, 1)
+	row, err := MeasureSpeedup(context.Background(), sp, res, 3, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestMeasureSpeedup(t *testing.T) {
 	if RenderSpeedup([]SpeedupRow{row}) == "" {
 		t.Error("empty speed-up rendering")
 	}
-	if _, err := MeasureSpeedup(sp, res, 99, 1); err == nil {
+	if _, err := MeasureSpeedup(context.Background(), sp, res, 99, 1); err == nil {
 		t.Error("missing distance accepted")
 	}
 }
@@ -221,7 +222,7 @@ func TestRenderTable1(t *testing.T) {
 }
 
 func TestFigure1SurfaceShape(t *testing.T) {
-	s, err := RunFigure1(Figure1Options{Seed: 1, Samples: 256, MinWL: 3, MaxWL: 10})
+	s, err := RunFigure1(context.Background(), Figure1Options{Seed: 1, Samples: 256, MinWL: 3, MaxWL: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +247,7 @@ func TestFigure1SurfaceShape(t *testing.T) {
 }
 
 func TestFigure1Validation(t *testing.T) {
-	if _, err := RunFigure1(Figure1Options{MinWL: 9, MaxWL: 3}); err == nil {
+	if _, err := RunFigure1(context.Background(), Figure1Options{MinWL: 9, MaxWL: 3}); err == nil {
 		t.Error("inverted range accepted")
 	}
 }

@@ -6,6 +6,7 @@ package bench
 // with -run TestExploreCalibration -v and never fails.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -22,7 +23,7 @@ func TestExploreCalibration(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		trace, err := sp.Record(1)
+		trace, err := sp.Record(context.Background(), 1)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -28,8 +29,8 @@ type Figure1Options struct {
 }
 
 // RunFigure1 sweeps the FIR word-length plane and returns the noise
-// surface of Figure 1.
-func RunFigure1(opts Figure1Options) (*Surface, error) {
+// surface of Figure 1; cancelling ctx aborts the sweep.
+func RunFigure1(ctx context.Context, opts Figure1Options) (*Surface, error) {
 	n := opts.Samples
 	if n == 0 {
 		n = 1024
@@ -54,6 +55,9 @@ func RunFigure1(opts Figure1Options) (*Surface, error) {
 		s.WAdd = append(s.WAdd, w)
 	}
 	for _, wm := range s.WMul {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		row := make([]float64, 0, len(s.WAdd))
 		for _, wa := range s.WAdd {
 			p, err := b.NoisePower(space.Config{wm, wa})

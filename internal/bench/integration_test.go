@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/evaluator"
@@ -15,7 +16,7 @@ func TestDeterministicTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, err := RunBenchmark(sp1, Table1Options{Seed: 42})
+	r1, err := RunBenchmark(context.Background(), sp1, Table1Options{Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +24,7 @@ func TestDeterministicTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := RunBenchmark(sp2, Table1Options{Seed: 42})
+	r2, err := RunBenchmark(context.Background(), sp2, Table1Options{Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func TestDeterministicTable(t *testing.T) {
 		t.Error("same seed produced different tables")
 	}
 	sp3, _ := NewFIRSpec(Small)
-	r3, err := RunBenchmark(sp3, Table1Options{Seed: 43})
+	r3, err := RunBenchmark(context.Background(), sp3, Table1Options{Seed: 43})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestIIRTableShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunBenchmark(sp, Table1Options{Seed: 1})
+	res, err := RunBenchmark(context.Background(), sp, Table1Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestLiveOptimisationWithKriging(t *testing.T) {
 		}
 		return r.Lambda, nil
 	})
-	res, err := optim.MinPlusOne(oracle, optim.MinPlusOneOptions{
+	res, err := optim.MinPlusOne(context.Background(), oracle, optim.MinPlusOneOptions{
 		LambdaMin: sp.LambdaMin,
 		Bounds:    sp.Bounds,
 	})
@@ -122,7 +123,7 @@ func TestSqueezeNetReplaySmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Shrink: replace the simulator with a 15-image variant for speed.
-	trace, err := sp.Record(1)
+	trace, err := sp.Record(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -26,8 +27,8 @@ type ReportOptions struct {
 // WriteReport regenerates the full evaluation — Table I, the Eq. 2
 // speed-up model and the ablation studies — and writes it as a Markdown
 // document. It is the one-command version of the per-artefact tools
-// under cmd/.
-func WriteReport(w io.Writer, opts ReportOptions) error {
+// under cmd/. Cancelling ctx aborts the campaign between evaluations.
+func WriteReport(ctx context.Context, w io.Writer, opts ReportOptions) error {
 	names := opts.Benchmarks
 	if len(names) == 0 {
 		names = []string{"fir", "iir", "fft", "hevc", "squeezenet"}
@@ -50,7 +51,7 @@ func WriteReport(w io.Writer, opts ReportOptions) error {
 		if err != nil {
 			return err
 		}
-		res, err := RunBenchmark(sp, Table1Options{Seed: opts.Seed, NnMin: opts.NnMin})
+		res, err := RunBenchmark(ctx, sp, Table1Options{Seed: opts.Seed, NnMin: opts.NnMin})
 		if err != nil {
 			return err
 		}
@@ -76,7 +77,7 @@ func WriteReport(w io.Writer, opts ReportOptions) error {
 		fmt.Fprintf(w, "| benchmark | N | N_sim | N_krig | t_o | t_i | speed-up |\n")
 		fmt.Fprintf(w, "|---|---|---|---|---|---|---|\n")
 		for i, res := range results {
-			row, err := MeasureSpeedup(specs[i], res, 3, opts.Seed)
+			row, err := MeasureSpeedup(ctx, specs[i], res, 3, opts.Seed)
 			if err != nil {
 				return err
 			}
@@ -101,7 +102,7 @@ func WriteReport(w io.Writer, opts ReportOptions) error {
 		if err != nil {
 			return err
 		}
-		trace, err := sp.Record(opts.Seed)
+		trace, err := sp.Record(ctx, opts.Seed)
 		if err != nil {
 			return err
 		}
@@ -146,9 +147,9 @@ func sizeName(s Size) string {
 
 // ReportString is WriteReport into a string, for tests and callers that
 // want the document in memory.
-func ReportString(opts ReportOptions) (string, error) {
+func ReportString(ctx context.Context, opts ReportOptions) (string, error) {
 	var b strings.Builder
-	if err := WriteReport(&b, opts); err != nil {
+	if err := WriteReport(ctx, &b, opts); err != nil {
 		return "", err
 	}
 	return b.String(), nil

@@ -1,12 +1,13 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestReportGeneratesAllSections(t *testing.T) {
-	out, err := ReportString(ReportOptions{
+	out, err := ReportString(context.Background(), ReportOptions{
 		Seed:        1,
 		Size:        Small,
 		Benchmarks:  []string{"fir"},
@@ -34,7 +35,7 @@ func TestReportGeneratesAllSections(t *testing.T) {
 }
 
 func TestReportWithSpeedup(t *testing.T) {
-	out, err := ReportString(ReportOptions{
+	out, err := ReportString(context.Background(), ReportOptions{
 		Seed:       1,
 		Size:       Small,
 		Benchmarks: []string{"fir"},
@@ -48,7 +49,7 @@ func TestReportWithSpeedup(t *testing.T) {
 }
 
 func TestScalingStudyOrdering(t *testing.T) {
-	rows, err := ScalingStudy([]string{"iir", "fir"}, Small, 1, 3)
+	rows, err := ScalingStudy(context.Background(), []string{"iir", "fir"}, Small, 1, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,13 +69,13 @@ func TestScalingStudyOrdering(t *testing.T) {
 }
 
 func TestScalingStudyUnknown(t *testing.T) {
-	if _, err := ScalingStudy([]string{"nope"}, Small, 1, 3); err == nil {
+	if _, err := ScalingStudy(context.Background(), []string{"nope"}, Small, 1, 3); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 }
 
 func TestReportUnknownBenchmark(t *testing.T) {
-	if _, err := ReportString(ReportOptions{Benchmarks: []string{"nope"}}); err == nil {
+	if _, err := ReportString(context.Background(), ReportOptions{Benchmarks: []string{"nope"}}); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 }
@@ -82,7 +83,7 @@ func TestReportUnknownBenchmark(t *testing.T) {
 func TestReportSeparateAblationBenchmark(t *testing.T) {
 	// Ablating a benchmark not in the Table I subset must record its
 	// trajectory on demand.
-	out, err := ReportString(ReportOptions{
+	out, err := ReportString(context.Background(), ReportOptions{
 		Seed:        1,
 		Size:        Small,
 		Benchmarks:  []string{"fir"},

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -22,7 +23,7 @@ type ScalingRow struct {
 // for each, sorted by Nv. Nil names selects all the word-length
 // benchmarks (the classification benchmark's ε is in different units, so
 // it is left out of the default sweep).
-func ScalingStudy(names []string, size Size, seed uint64, d float64) ([]ScalingRow, error) {
+func ScalingStudy(ctx context.Context, names []string, size Size, seed uint64, d float64) ([]ScalingRow, error) {
 	if len(names) == 0 {
 		names = []string{"fir", "iir", "fft", "hevc-chroma", "hevc"}
 	}
@@ -32,7 +33,7 @@ func ScalingStudy(names []string, size Size, seed uint64, d float64) ([]ScalingR
 		if err != nil {
 			return nil, err
 		}
-		res, err := RunBenchmark(sp, Table1Options{Seed: seed, Distances: []float64{d}})
+		res, err := RunBenchmark(ctx, sp, Table1Options{Seed: seed, Distances: []float64{d}})
 		if err != nil {
 			return nil, err
 		}

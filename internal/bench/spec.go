@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/evaluator"
@@ -42,8 +43,9 @@ type Spec struct {
 	// ErrKind selects Eq. 11 (bits) or Eq. 12 (relative).
 	ErrKind evaluator.ErrorKind
 	// Record runs the simulation-only optimiser and returns the
-	// recorded trajectory, the paper's Table I input.
-	Record func(seed uint64) (evaluator.Trace, error)
+	// recorded trajectory, the paper's Table I input. Cancelling ctx
+	// aborts the recording run with ctx's error.
+	Record func(ctx context.Context, seed uint64) (evaluator.Trace, error)
 	// NewSimulator builds a fresh simulator for live (non-replay) runs
 	// such as the speed-up measurement.
 	NewSimulator func(seed uint64) (evaluator.Simulator, error)
@@ -74,12 +76,12 @@ func signalSpec(name, metric string, mk func(seed uint64) (signal.Benchmark, err
 		}
 		return &signal.Simulator{B: b}, nil
 	}
-	sp.Record = func(seed uint64) (evaluator.Trace, error) {
+	sp.Record = func(ctx context.Context, seed uint64) (evaluator.Trace, error) {
 		sim, err := sp.NewSimulator(seed)
 		if err != nil {
 			return nil, err
 		}
-		return recordMinPlusOne(sim, optim.MinPlusOneOptions{
+		return recordMinPlusOne(ctx, sim, optim.MinPlusOneOptions{
 			LambdaMin: sp.LambdaMin,
 			Bounds:    sp.Bounds,
 		})
@@ -90,10 +92,10 @@ func signalSpec(name, metric string, mk func(seed uint64) (signal.Benchmark, err
 // recordMinPlusOne runs the min+1 bit algorithm against a caching,
 // recording wrapper of sim and returns the trajectory of distinct
 // configurations in first-tested order.
-func recordMinPlusOne(sim evaluator.Simulator, opts optim.MinPlusOneOptions) (evaluator.Trace, error) {
+func recordMinPlusOne(ctx context.Context, sim evaluator.Simulator, opts optim.MinPlusOneOptions) (evaluator.Trace, error) {
 	caching := evaluator.NewCachingSimulator(sim)
 	rec := &evaluator.RecordingSimulator{Inner: caching}
-	if _, err := optim.MinPlusOne(rec, opts); err != nil {
+	if _, err := optim.MinPlusOne(ctx, optim.OracleFunc(rec.Evaluate), opts); err != nil {
 		return nil, fmt.Errorf("bench: recording trajectory: %w", err)
 	}
 	return rec.Trace, nil
@@ -181,12 +183,12 @@ func NewHEVCSSIMSpec(size Size) (*Spec, error) {
 	sp.NewSimulator = func(seed uint64) (evaluator.Simulator, error) {
 		return hevc.NewSSIMBenchmark(seed, blocks)
 	}
-	sp.Record = func(seed uint64) (evaluator.Trace, error) {
+	sp.Record = func(ctx context.Context, seed uint64) (evaluator.Trace, error) {
 		sim, err := sp.NewSimulator(seed)
 		if err != nil {
 			return nil, err
 		}
-		return recordMinPlusOne(sim, optim.MinPlusOneOptions{
+		return recordMinPlusOne(ctx, sim, optim.MinPlusOneOptions{
 			LambdaMin: sp.LambdaMin,
 			Bounds:    sp.Bounds,
 		})
@@ -218,14 +220,14 @@ func NewSqueezeNetSpec(size Size) (*Spec, error) {
 	sp.NewSimulator = func(seed uint64) (evaluator.Simulator, error) {
 		return nn.NewSensitivityBenchmark(seed, images)
 	}
-	sp.Record = func(seed uint64) (evaluator.Trace, error) {
+	sp.Record = func(ctx context.Context, seed uint64) (evaluator.Trace, error) {
 		sim, err := sp.NewSimulator(seed)
 		if err != nil {
 			return nil, err
 		}
 		caching := evaluator.NewCachingSimulator(sim)
 		rec := &evaluator.RecordingSimulator{Inner: caching}
-		if _, err := optim.NoiseBudget(rec, optim.NoiseBudgetOptions{
+		if _, err := optim.NoiseBudget(ctx, optim.OracleFunc(rec.Evaluate), optim.NoiseBudgetOptions{
 			LambdaMin: pclMin,
 			Bounds:    sp.Bounds,
 		}); err != nil {

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -33,7 +35,7 @@ type SpeedupRow struct {
 // MeasureSpeedup times one real simulation and one kriging interpolation
 // for the benchmark, then combines them with the replay counts at the
 // given distance per Eq. 2.
-func MeasureSpeedup(sp *Spec, res *BenchmarkResult, d float64, seed uint64) (SpeedupRow, error) {
+func MeasureSpeedup(ctx context.Context, sp *Spec, res *BenchmarkResult, d float64, seed uint64) (SpeedupRow, error) {
 	row := SpeedupRow{Name: sp.Name, D: d}
 	var replay *evaluator.ReplayRow
 	for i := range res.Rows {
@@ -59,6 +61,9 @@ func MeasureSpeedup(sp *Spec, res *BenchmarkResult, d float64, seed uint64) (Spe
 		mid[i] = (sp.Bounds.Lo[i] + sp.Bounds.Hi[i]) / 2
 	}
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return row, err
+	}
 	if _, err := sim.Evaluate(mid); err != nil {
 		return row, err
 	}
@@ -71,7 +76,7 @@ func MeasureSpeedup(sp *Spec, res *BenchmarkResult, d float64, seed uint64) (Spe
 		support = 8
 	}
 	if support < 2 {
-		return row, fmt.Errorf("bench: trajectory too short to time interpolation")
+		return row, errors.New("bench: trajectory too short to time interpolation")
 	}
 	xs := make([][]float64, support)
 	ys := make([]float64, support)

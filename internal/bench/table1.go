@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -53,9 +54,9 @@ type BenchmarkResult struct {
 
 // RunBenchmark records the benchmark's simulation-only trajectory once
 // and replays it at every distance, producing that benchmark's Table I
-// rows.
-func RunBenchmark(sp *Spec, opts Table1Options) (*BenchmarkResult, error) {
-	trace, err := sp.Record(opts.Seed)
+// rows. Cancelling ctx aborts the recording run.
+func RunBenchmark(ctx context.Context, sp *Spec, opts Table1Options) (*BenchmarkResult, error) {
+	trace, err := sp.Record(ctx, opts.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("bench: %s: %w", sp.Name, err)
 	}
@@ -107,14 +108,14 @@ func ReplayTrace(sp *Spec, trace evaluator.Trace, opts Table1Options) (*Benchmar
 }
 
 // RunTable1 regenerates the whole of Table I.
-func RunTable1(size Size, opts Table1Options) ([]*BenchmarkResult, error) {
+func RunTable1(ctx context.Context, size Size, opts Table1Options) ([]*BenchmarkResult, error) {
 	specs, err := AllSpecs(size)
 	if err != nil {
 		return nil, err
 	}
 	var out []*BenchmarkResult
 	for _, sp := range specs {
-		res, err := RunBenchmark(sp, opts)
+		res, err := RunBenchmark(ctx, sp, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/evaluator"
+	"repro/internal/optim"
+	"repro/internal/space"
+)
+
+// TenantMode selects how the multi-tenant scenario provisions its K
+// optimiser instances.
+type TenantMode int
+
+// Multi-tenant provisioning modes.
+const (
+	// TenantShared gives every tenant the same evaluator through one
+	// session engine: exact hits come from the shared store and
+	// concurrent identical misses coalesce onto one simulation.
+	TenantShared TenantMode = iota
+	// TenantSharedNoCoalesce shares the evaluator and its store but
+	// disables single-flight coalescing: concurrent identical misses
+	// each pay a full simulation (the pre-engine behaviour).
+	TenantSharedNoCoalesce
+	// TenantIsolated gives every tenant a private evaluator and store —
+	// the "one evaluator per campaign" baseline the paper's tooling
+	// implies. Nothing is shared except the simulation capacity.
+	TenantIsolated
+)
+
+// String returns the mode name.
+func (m TenantMode) String() string {
+	switch m {
+	case TenantSharedNoCoalesce:
+		return "shared-nocoalesce"
+	case TenantIsolated:
+		return "isolated"
+	default:
+		return "shared"
+	}
+}
+
+// TenantOptions configures MultiTenantSweep.
+type TenantOptions struct {
+	// Tenants is K, the number of concurrent optimiser instances; zero
+	// selects 4.
+	Tenants int
+	// Nv is the configuration dimensionality; zero selects 3.
+	Nv int
+	// MaxWL is the upper word-length bound; zero selects 6 (lower bound
+	// is fixed at 2), keeping the trajectories short.
+	MaxWL int
+	// SimLatency is the synthetic cost of one simulation; zero selects
+	// 2ms.
+	SimLatency time.Duration
+	// SimCapacity bounds the simulations that can run at once across
+	// ALL tenants — the scenario's model of finite simulation hardware
+	// (cores, licensed simulator seats). Zero selects 1, the regime
+	// where every wasted duplicate simulation costs wall-clock.
+	SimCapacity int
+	// D is the kriging radius shared by every evaluator; zero disables
+	// interpolation so the sweep isolates store sharing + coalescing.
+	D float64
+	// Algo selects the per-tenant optimiser: "minplus1" (default) runs
+	// the deterministic min+1 walk, so the K trajectories collide
+	// completely — the d-sweep / repeated-campaign regime; "anneal"
+	// seeds each tenant's annealing walk with Seed+i, so trajectories
+	// collide only where the walks happen to meet.
+	Algo string
+	// LambdaMin is the accuracy constraint; zero selects -1e-4.
+	LambdaMin float64
+	// Seed is the base experiment seed; tenant i derives Seed+i.
+	Seed uint64
+	// Mode provisions the tenants (see TenantMode).
+	Mode TenantMode
+}
+
+func (o *TenantOptions) defaults() {
+	if o.Tenants == 0 {
+		o.Tenants = 4
+	}
+	if o.Nv == 0 {
+		o.Nv = 3
+	}
+	if o.MaxWL == 0 {
+		o.MaxWL = 6
+	}
+	if o.SimLatency == 0 {
+		o.SimLatency = 2 * time.Millisecond
+	}
+	if o.SimCapacity == 0 {
+		o.SimCapacity = 1
+	}
+	if o.Algo == "" {
+		o.Algo = "minplus1"
+	}
+	if o.LambdaMin == 0 {
+		o.LambdaMin = -1e-4
+	}
+}
+
+// TenantResult is one measurement of the multi-tenant scenario.
+type TenantResult struct {
+	Mode        TenantMode
+	Tenants     int
+	Elapsed     time.Duration
+	Simulations int            // simulator runs summed over all evaluators
+	Distinct    int            // distinct configurations across the K trajectories
+	WRes        []space.Config // per-tenant optimisation results
+}
+
+// tenantSim builds the scenario's simulator: the analytic word-length
+// noise field behind a sleep that holds one of capacity global
+// simulation slots — so duplicated simulations cost wall-clock exactly
+// when simulation hardware is the bottleneck. The sleep and the slot
+// wait are both cancellable.
+func tenantSim(nv int, latency time.Duration, capacity int) evaluator.ContextSimulatorFunc {
+	slots := make(chan struct{}, capacity)
+	return evaluator.ContextSimulatorFunc{
+		NumVars: nv,
+		Fn: func(ctx context.Context, cfg space.Config) (float64, error) {
+			select {
+			case slots <- struct{}{}:
+				defer func() { <-slots }()
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+			select {
+			case <-time.After(latency):
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+			var p float64
+			for _, w := range cfg {
+				q := 1.0
+				for b := 0; b < w; b++ {
+					q /= 2
+				}
+				p += q * q / 12 // uniform quantisation noise 2^-2w/12
+			}
+			return -p, nil
+		},
+	}
+}
+
+// MultiTenantSweep runs K optimiser instances concurrently against
+// capacity-bounded simulation hardware and measures the end-to-end
+// wall-clock of the whole fleet. In TenantShared mode the tenants share
+// one evaluator through one session engine, so colliding trajectories
+// cost one simulation per distinct configuration — first via the
+// single-flight table while a simulation is in flight, then via the
+// shared store; the other modes are the ablation baselines
+// BenchmarkCoalescedSweep compares against.
+func MultiTenantSweep(ctx context.Context, opts TenantOptions) (TenantResult, error) {
+	opts.defaults()
+	res := TenantResult{Mode: opts.Mode, Tenants: opts.Tenants}
+	bounds := space.UniformBounds(opts.Nv, 2, opts.MaxWL)
+	sim := tenantSim(opts.Nv, opts.SimLatency, opts.SimCapacity)
+	evOpts := evaluator.Options{
+		DisableCoalescing: opts.Mode == TenantSharedNoCoalesce,
+	}
+	if opts.D > 0 {
+		evOpts.D = opts.D
+		evOpts.NnMin = 1
+		evOpts.MaxSupport = 10
+	}
+
+	// Provision the oracles per mode.
+	evs := make([]*evaluator.Evaluator, 0, opts.Tenants)
+	oracles := make([]optim.Oracle, opts.Tenants)
+	if opts.Mode == TenantIsolated {
+		for i := 0; i < opts.Tenants; i++ {
+			ev, err := evaluator.New(sim, evOpts)
+			if err != nil {
+				return res, err
+			}
+			evs = append(evs, ev)
+			oracles[i] = ev.Oracle(1)
+		}
+	} else {
+		ev, err := evaluator.New(sim, evOpts)
+		if err != nil {
+			return res, err
+		}
+		evs = append(evs, ev)
+		engine := ev.Engine(0) // capacity lives in the simulator
+		for i := 0; i < opts.Tenants; i++ {
+			oracles[i] = engine.Oracle()
+		}
+	}
+
+	res.WRes = make([]space.Config, opts.Tenants)
+	errs := make([]error, opts.Tenants)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < opts.Tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			switch opts.Algo {
+			case "anneal":
+				r, err := optim.Anneal(ctx, oracles[i], optim.AnnealOptions{
+					LambdaMin: opts.LambdaMin,
+					Bounds:    bounds,
+					Seed:      opts.Seed + uint64(i),
+				})
+				res.WRes[i], errs[i] = r.Best, err
+			default:
+				r, err := optim.MinPlusOne(ctx, oracles[i], optim.MinPlusOneOptions{
+					LambdaMin: opts.LambdaMin,
+					Bounds:    bounds,
+				})
+				res.WRes[i], errs[i] = r.WRes, err
+			}
+		}(i)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+	distinct := make(map[string]bool)
+	for _, ev := range evs {
+		res.Simulations += ev.Stats().NSim
+		for _, e := range ev.Store().Entries() {
+			distinct[e.Config.Key()] = true
+		}
+	}
+	res.Distinct = len(distinct)
+	return res, nil
+}
+
+// RenderTenants renders multi-tenant measurements as a text table.
+func RenderTenants(rows []TenantResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %8s %12s %6s %9s %9s\n",
+		"mode", "tenants", "elapsed", "sims", "distinct", "speedup")
+	b.WriteString(strings.Repeat("-", 68) + "\n")
+	var base time.Duration
+	for i, r := range rows {
+		if i == 0 {
+			base = r.Elapsed
+		}
+		speedup := 0.0
+		if r.Elapsed > 0 {
+			speedup = float64(base) / float64(r.Elapsed)
+		}
+		fmt.Fprintf(&b, "%-18s %8d %12v %6d %9d %8.2fx\n",
+			r.Mode, r.Tenants, r.Elapsed.Round(time.Millisecond), r.Simulations, r.Distinct, speedup)
+	}
+	return b.String()
+}

@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestMultiTenantSimulationCounts pins the deterministic half of the
+// multi-tenant scenario: with K tenants on fully colliding min+1
+// trajectories, the shared coalescing engine simulates each distinct
+// configuration exactly once; the no-coalescing baseline pays for
+// concurrent duplicates; isolated evaluators pay the full K-fold cost.
+func TestMultiTenantSimulationCounts(t *testing.T) {
+	base := TenantOptions{
+		Tenants:    4,
+		Nv:         2,
+		MaxWL:      6,
+		SimLatency: time.Millisecond,
+	}
+	ctx := context.Background()
+
+	shared := base
+	shared.Mode = TenantShared
+	rs, err := MultiTenantSweep(ctx, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Simulations != rs.Distinct {
+		t.Errorf("shared: %d simulations for %d distinct configurations, want equal",
+			rs.Simulations, rs.Distinct)
+	}
+	for i := 1; i < len(rs.WRes); i++ {
+		if !rs.WRes[i].Equal(rs.WRes[0]) {
+			t.Errorf("tenant %d result %v != tenant 0 result %v", i, rs.WRes[i], rs.WRes[0])
+		}
+	}
+
+	nocoal := base
+	nocoal.Mode = TenantSharedNoCoalesce
+	rn, err := MultiTenantSweep(ctx, nocoal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn.Distinct != rs.Distinct {
+		t.Errorf("distinct sets diverge: %d (no-coalesce) vs %d (shared)", rn.Distinct, rs.Distinct)
+	}
+	if rn.Simulations <= rn.Distinct {
+		t.Errorf("no-coalesce: %d simulations for %d distinct configurations, want duplicated work",
+			rn.Simulations, rn.Distinct)
+	}
+
+	iso := base
+	iso.Mode = TenantIsolated
+	ri, err := MultiTenantSweep(ctx, iso)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := base.Tenants * ri.Distinct; ri.Simulations != want {
+		t.Errorf("isolated: %d simulations, want %d (K × distinct)", ri.Simulations, want)
+	}
+}
+
+// TestMultiTenantCoalescingSpeedup measures the acceptance criterion:
+// with K = 4 tenants on colliding trajectories and unit simulation
+// capacity, coalescing must deliver at least a 1.5× end-to-end speedup
+// over the shared-store-only baseline (the expected ratio is ≈ K).
+func TestMultiTenantCoalescingSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement; skipped under -short")
+	}
+	opts := TenantOptions{
+		Tenants:    4,
+		Nv:         3,
+		MaxWL:      6,
+		SimLatency: 5 * time.Millisecond,
+	}
+	ctx := context.Background()
+	opts.Mode = TenantShared
+	rs, err := MultiTenantSweep(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Mode = TenantSharedNoCoalesce
+	rn, err := MultiTenantSweep(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(rn.Elapsed) / float64(rs.Elapsed)
+	t.Logf("multi-tenant sweep (baseline first):\n%s", RenderTenants([]TenantResult{rn, rs}))
+	if speedup < 1.5 {
+		t.Errorf("coalescing speedup %.2fx below the 1.5x acceptance floor", speedup)
+	}
+}
+
+// TestMultiTenantSeededAnneal exercises the partially colliding variant:
+// K annealers with different seeds sharing one engine must come back
+// feasible and never simulate a configuration twice.
+func TestMultiTenantSeededAnneal(t *testing.T) {
+	res, err := MultiTenantSweep(context.Background(), TenantOptions{
+		Tenants:    3,
+		Nv:         2,
+		MaxWL:      6,
+		SimLatency: 200 * time.Microsecond,
+		Algo:       "anneal",
+		Seed:       7,
+		Mode:       TenantShared,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Simulations != res.Distinct {
+		t.Errorf("shared annealers: %d simulations for %d distinct configurations",
+			res.Simulations, res.Distinct)
+	}
+}
+
+// BenchmarkCoalescedSweep is the bench-smoke view of the multi-tenant
+// scenario: the same K = 4 fleet measured with coalescing on (shared),
+// coalescing off (shared-nocoalesce) and fully isolated evaluators. The
+// sims/op metric exposes the duplicated simulations; ns/op exposes the
+// end-to-end cost (the acceptance target is shared ≥ 1.5× faster than
+// shared-nocoalesce).
+func BenchmarkCoalescedSweep(b *testing.B) {
+	for _, mode := range []TenantMode{TenantShared, TenantSharedNoCoalesce, TenantIsolated} {
+		b.Run(mode.String(), func(b *testing.B) {
+			sims := 0
+			for i := 0; i < b.N; i++ {
+				res, err := MultiTenantSweep(context.Background(), TenantOptions{
+					Tenants:    4,
+					Nv:         3,
+					MaxWL:      6,
+					SimLatency: 2 * time.Millisecond,
+					Mode:       mode,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sims += res.Simulations
+			}
+			b.ReportMetric(float64(sims)/float64(b.N), "sims/op")
+		})
+	}
+}

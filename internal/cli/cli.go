@@ -1,0 +1,96 @@
+// Package cli holds the command-line wiring shared by the executables
+// under cmd/: the -bench/-size/-seed flag trio with its
+// bench.SpecByName lookup, and the signal-cancelled root context that
+// gives every binary graceful Ctrl-C / SIGTERM shutdown through the
+// context-aware evaluation engine.
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/bench"
+)
+
+// Common is the flag trio every benchmark-driven binary used to wire by
+// hand: the benchmark name, the data-set size and the experiment seed.
+type Common struct {
+	BenchName string
+	SizeName  string
+	Seed      uint64
+}
+
+// AddCommon registers -bench, -size and -seed on the default flag set
+// and returns the destination struct; read it after flag.Parse.
+func AddCommon(defaultBench, benchUsage string) *Common {
+	c := &Common{}
+	flag.StringVar(&c.BenchName, "bench", defaultBench, benchUsage)
+	AddSize(&c.SizeName)
+	AddSeed(&c.Seed)
+	return c
+}
+
+// AddSize registers the -size flag on the default flag set.
+func AddSize(dst *string) {
+	flag.StringVar(dst, "size", "small", "benchmark size: small (fast) or full (paper-scale)")
+}
+
+// AddSeed registers the -seed flag on the default flag set.
+func AddSeed(dst *uint64) {
+	flag.Uint64Var(dst, "seed", 1, "experiment seed")
+}
+
+// ParseSize maps a -size flag value onto a bench.Size.
+func ParseSize(name string) (bench.Size, error) {
+	switch name {
+	case "small":
+		return bench.Small, nil
+	case "full":
+		return bench.Full, nil
+	default:
+		return bench.Small, fmt.Errorf("unknown size %q (want small or full)", name)
+	}
+}
+
+// Size resolves the parsed -size flag.
+func (c *Common) Size() (bench.Size, error) { return ParseSize(c.SizeName) }
+
+// Spec resolves the parsed -bench/-size pair to its benchmark spec.
+func (c *Common) Spec() (*bench.Spec, error) {
+	size, err := c.Size()
+	if err != nil {
+		return nil, err
+	}
+	return bench.SpecByName(c.BenchName, size)
+}
+
+// SignalContext returns the binary's root context: it is cancelled on
+// the first SIGINT or SIGTERM, which aborts in-flight optimisation runs
+// and (context-aware) simulations; a second signal kills the process
+// through the restored default handler. Call stop to release the signal
+// watcher.
+func SignalContext() (ctx context.Context, stop context.CancelFunc) {
+	ctx, stop = signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// Once the first signal has cancelled the context, unregister the
+	// watcher so the default disposition returns and a second signal
+	// force-kills a run stuck in a ctx-oblivious simulation, instead of
+	// being swallowed by the drained notify channel.
+	context.AfterFunc(ctx, stop)
+	return ctx, stop
+}
+
+// Fail terminates the binary on err: a context cancellation (the signal
+// handler fired) exits with a short "interrupted" notice, anything else
+// with the error itself.
+func Fail(err error) {
+	if errors.Is(err, context.Canceled) {
+		log.Fatal("interrupted")
+	}
+	log.Fatal(err)
+}

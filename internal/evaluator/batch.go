@@ -1,11 +1,10 @@
 package evaluator
 
 import (
-	"fmt"
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/space"
 	"repro/internal/store"
@@ -15,19 +14,24 @@ import (
 // pool: each worker runs whole queries — exact-hit lookup, interpolation
 // decision, kriging, and (when needed) the simulation — so the
 // simulator's latency AND the kriging linear algebra scale across cores.
+// It is the background-context form of EvaluateAllContext.
 //
 // The batch semantics match issuing the queries one at a time EXCEPT that
 // no query in the batch observes another batch member — neither as an
-// exact store hit (a duplicated configuration is simulated once per
-// occurrence) nor as kriging support: every decision runs against an
-// immutable snapshot of the store taken on entry. Sequential issuing lets
-// a later query krige from an earlier query's freshly stored simulation
-// (min+1 sibling candidates sit at L1 distance 2 from each other, inside
-// the usual radius), so a batch can legitimately return different —
-// equally valid — interpolations than the one-at-a-time order. Both obey
-// the paper's rule of never kriging from unsimulated values; the batch is
-// simply the order-free reading of Algorithm 2's competition, whose Nv
-// candidates are independent increments of one incumbent.
+// exact store hit nor as kriging support: every decision runs against an
+// immutable snapshot of the store taken on entry. (A configuration
+// duplicated inside the batch still costs one simulation when its
+// occurrences are claimed concurrently — the workers coalesce identical
+// in-flight simulations through the evaluator's single-flight table —
+// and is simulated once per occurrence only in the sequential
+// workers == 1 order.) Sequential issuing lets a later query krige from
+// an earlier query's freshly stored simulation (min+1 sibling candidates
+// sit at L1 distance 2 from each other, inside the usual radius), so a
+// batch can legitimately return different — equally valid —
+// interpolations than the one-at-a-time order. Both obey the paper's
+// rule of never kriging from unsimulated values; the batch is simply the
+// order-free reading of Algorithm 2's competition, whose Nv candidates
+// are independent increments of one incumbent.
 //
 // Determinism: results are indexed by input position, interpolations
 // depend only on the entry snapshot, and the store absorbs the new
@@ -40,6 +44,22 @@ import (
 // claiming further queries, the earliest (by input order) observed error
 // is reported, and the store is left untouched.
 func (e *Evaluator) EvaluateAll(cfgs []space.Config, workers int) ([]Result, error) {
+	return e.EvaluateAllContext(context.Background(), cfgs, workers)
+}
+
+// EvaluateAllContext is EvaluateAll under a request context. Cancelling
+// ctx aborts the batch promptly: workers stop claiming queries, a
+// ContextSimulator is interrupted mid-simulation (a plain Simulator
+// finishes its current simulation first — at most one simulation latency
+// of delay), and the call returns ctx.Err(). A cancelled batch is
+// discarded whole, exactly like a failed one: no store insert, no
+// counter movement — even the simulator time its workers burnt is
+// discarded with the batch accumulator, so the evaluator state is as if
+// the batch had never been issued. (One caveat: a live caller that
+// coalesced onto one of the discarded batch's simulations keeps the
+// value it was served and backs it into the store, Preload-style —
+// store-backed but counter-free.)
+func (e *Evaluator) EvaluateAllContext(ctx context.Context, cfgs []space.Config, workers int) ([]Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -48,7 +68,7 @@ func (e *Evaluator) EvaluateAll(cfgs []space.Config, workers int) ([]Result, err
 	}
 	results := make([]Result, len(cfgs))
 	if len(cfgs) == 0 {
-		return results, nil
+		return results, ctx.Err()
 	}
 	snap := e.store.Snapshot()
 	var (
@@ -58,8 +78,9 @@ func (e *Evaluator) EvaluateAll(cfgs []space.Config, workers int) ([]Result, err
 		next      atomic.Int64
 		wg        sync.WaitGroup
 		// The batch's activity accumulates here and merges into the live
-		// stats only on success, so a failed (discarded) batch cannot
-		// skew SimTime/NSim and the Eq. 2 model built on them.
+		// stats only on success, so a failed or cancelled (discarded)
+		// batch cannot skew SimTime/NSim and the Eq. 2 model built on
+		// them.
 		batchStats counters
 	)
 	for w := 0; w < workers; w++ {
@@ -67,10 +88,11 @@ func (e *Evaluator) EvaluateAll(cfgs []space.Config, workers int) ([]Result, err
 		go func() {
 			defer wg.Done()
 			for {
-				// Once any query has failed the whole batch's results
-				// will be discarded, so stop claiming work rather than
-				// burn hours of simulation on answers nobody will see.
-				if failed.Load() {
+				// Once any query has failed — or the request is cancelled —
+				// the whole batch's results will be discarded, so stop
+				// claiming work rather than burn hours of simulation on
+				// answers nobody will see.
+				if failed.Load() || ctx.Err() != nil {
 					return
 				}
 				idx := int(next.Add(1)) - 1
@@ -82,11 +104,13 @@ func (e *Evaluator) EvaluateAll(cfgs []space.Config, workers int) ([]Result, err
 					results[idx] = res
 					continue
 				}
-				start := time.Now()
-				lam, err := e.sim.Evaluate(cfg)
-				batchStats.simTime.Add(int64(time.Since(start)))
+				// The simulation is coalesced through the evaluator-wide
+				// single-flight table (identical misses inside the batch,
+				// in sibling batches, or in live sessions share one run);
+				// the store insert is deferred to the batch commit below.
+				lam, err := e.simulateShared(ctx, cfg, &batchStats, nil, false)
 				if err != nil {
-					errs[idx] = fmt.Errorf("evaluator: simulation of %v failed: %w", cfg, err)
+					errs[idx] = err
 					failed.Store(true)
 					continue
 				}
@@ -96,6 +120,11 @@ func (e *Evaluator) EvaluateAll(cfgs []space.Config, workers int) ([]Result, err
 		}()
 	}
 	wg.Wait()
+	// A dead context outranks any per-query error it induced: the caller
+	// asked the batch to stop, and that is what happened.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if failed.Load() {
 		for _, err := range errs {
 			if err != nil {
@@ -107,12 +136,13 @@ func (e *Evaluator) EvaluateAll(cfgs []space.Config, workers int) ([]Result, err
 	// keeping the store contents (and NearestK tie-breaking in later
 	// queries) deterministic. The whole commit goes through the bulk
 	// write path: one view publication per shard instead of one per
-	// simulation result.
+	// simulation result. (NSim was already charged, once per coalesced
+	// flight, at simulation time; a duplicated configuration commits one
+	// entry per occurrence, which the store's overwrite path collapses.)
 	commit := make([]store.Entry, 0, len(cfgs))
 	for idx := range cfgs {
 		if simulated[idx] {
 			commit = append(commit, store.Entry{Config: cfgs[idx], Lambda: results[idx].Lambda})
-			batchStats.nSim.Add(1)
 		}
 	}
 	e.store.AddBatch(commit)

@@ -1,0 +1,268 @@
+package evaluator
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/space"
+	"repro/internal/store"
+)
+
+// flight is one in-flight simulation in the single-flight table. The
+// owner (the goroutine that registered it) runs the simulator, fills lam/
+// err, and closes done; followers block on done and share the outcome
+// without running the simulator, consuming a worker slot, or touching
+// the activity counters.
+type flight struct {
+	cfg  space.Config
+	done chan struct{}
+	lam  float64
+	err  error
+	// stored reports whether the value was in the live store by the time
+	// the flight resolved (set before done closes). Batch-owned flights
+	// defer their insert to the batch commit, so live followers use this
+	// to back-fill the store themselves.
+	stored bool
+}
+
+// inflight is the single-flight table: at most one live simulation per
+// configuration. It is keyed by the store's config hash (the same
+// hashing that routes shard inserts and exact lookups), with chained
+// equality checks so hash collisions merely share a bucket, never a
+// result.
+type inflight struct {
+	enabled bool
+	mu      sync.Mutex
+	m       map[uint64][]*flight
+}
+
+func newInflight(enabled bool) inflight {
+	return inflight{enabled: enabled, m: make(map[uint64][]*flight)}
+}
+
+// acquire either joins the existing flight for cfg (owner=false) or
+// registers a new one (owner=true). The returned flight is never nil.
+func (t *inflight) acquire(hash uint64, cfg space.Config) (f *flight, owner bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, g := range t.m[hash] {
+		if g.cfg.Equal(cfg) {
+			return g, false
+		}
+	}
+	f = &flight{cfg: cfg.Clone(), done: make(chan struct{})}
+	t.m[hash] = append(t.m[hash], f)
+	return f, true
+}
+
+// resolve publishes the outcome and retires the flight: it is removed
+// from the table first, so a request arriving after the wake-up either
+// finds the store already populated (the owner inserts before resolving)
+// or starts a fresh flight.
+func (t *inflight) resolve(hash uint64, f *flight, lam float64, err error) {
+	f.lam, f.err = lam, err
+	t.mu.Lock()
+	bucket := t.m[hash]
+	for i, g := range bucket {
+		if g == f {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(t.m, hash)
+	} else {
+		t.m[hash] = bucket
+	}
+	t.mu.Unlock()
+	close(f.done)
+}
+
+// simulateShared is the simulation step shared by every request path —
+// EvaluateContext, Engine sessions, and EvaluateAll workers. Concurrent
+// identical misses coalesce onto one flight: the owner simulates (inside
+// sem's admission bound when non-nil), charges exactly one simulation to
+// stats, optionally inserts the result into the live store, and resolves
+// the flight; followers block on the flight and share the value.
+//
+// insertNow selects the live-path contract (the owner stores the result
+// before any follower wakes, so a simulated answer is always backed by
+// the store); the batch path passes false and commits through AddBatch
+// after the whole batch has succeeded, preserving its deterministic
+// input-order insertion.
+//
+// A follower woken by an owner that was cancelled does not inherit the
+// cancellation: if its own context is still live it retries, typically
+// becoming the new owner. A follower whose own context dies while
+// waiting returns ctx.Err() immediately and leaves the flight running
+// for the remaining waiters.
+func (e *Evaluator) simulateShared(ctx context.Context, cfg space.Config, stats *counters, sem chan struct{}, insertNow bool) (float64, error) {
+	if !e.flights.enabled {
+		return e.simulateOwned(ctx, cfg, stats, sem, insertNow, 0, nil)
+	}
+	hash := store.HashConfig(cfg)
+	for {
+		f, owner := e.flights.acquire(hash, cfg)
+		if owner {
+			return e.simulateOwned(ctx, cfg, stats, sem, insertNow, hash, f)
+		}
+		select {
+		case <-f.done:
+			if f.err != nil {
+				if isContextError(f.err) && ctx.Err() == nil {
+					continue // the owner was cancelled, we were not: retry
+				}
+				return 0, f.err
+			}
+			if insertNow && !f.stored {
+				// The owner was a batch worker whose store insert is
+				// deferred to its batch commit (and discarded with a
+				// failed batch). A live caller must hand out store-backed
+				// values, so back-fill unless the commit already landed.
+				if _, ok := e.store.Lookup(cfg); !ok {
+					e.store.Add(cfg, f.lam)
+				}
+			}
+			return f.lam, nil
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+}
+
+// simulateOwned runs the simulation as the flight owner (f may be nil
+// when coalescing is disabled): admission through sem, one stats charge,
+// the optional store insert, then flight resolution.
+func (e *Evaluator) simulateOwned(ctx context.Context, cfg space.Config, stats *counters, sem chan struct{}, insertNow bool, hash uint64, f *flight) (float64, error) {
+	if sem != nil {
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+		case <-ctx.Done():
+			err := ctx.Err()
+			if f != nil {
+				e.flights.resolve(hash, f, 0, err)
+			}
+			return 0, err
+		}
+	}
+	// Between the caller's store miss and this flight's registration (or
+	// while this request queued for a simulation slot) the configuration
+	// may have been simulated, stored and retired by another flight;
+	// re-checking here keeps the live path at one simulation per
+	// configuration. (Skipped in DisableCoalescing mode — the no-dedup
+	// reference behaviour — and on the batch path, whose decisions are
+	// pinned to the entry snapshot.)
+	if insertNow && e.flights.enabled {
+		if lam, ok := e.store.Lookup(cfg); ok {
+			if f != nil {
+				f.stored = true
+				e.flights.resolve(hash, f, lam, nil)
+			}
+			return lam, nil
+		}
+	}
+	lam, err := e.rawSimulate(ctx, cfg, stats)
+	if err == nil {
+		stats.nSim.Add(1)
+		if insertNow {
+			e.store.Add(cfg, lam)
+		}
+	}
+	if f != nil {
+		f.stored = insertNow && err == nil
+		e.flights.resolve(hash, f, lam, err)
+	}
+	return lam, err
+}
+
+// Engine is the request-oriented session API over an Evaluator: Submit
+// enqueues one configuration query and returns a Future; Wait collects
+// the Result. Requests from every session sharing the evaluator flow
+// through the same single-flight table, so identical concurrent misses
+// cost one simulation, and through the engine's admission semaphore, so
+// at most maxSims simulations run at once no matter how many sessions
+// submit (followers of a coalesced flight never hold a slot).
+//
+// An Engine is safe for concurrent use; create one per evaluator and
+// share it between tenants.
+type Engine struct {
+	ev  *Evaluator
+	sem chan struct{}
+}
+
+// Engine builds a session engine over the evaluator. maxSims bounds the
+// simulations in flight across all sessions; zero or negative means
+// unbounded (the callers' own parallelism is the only limit).
+func (e *Evaluator) Engine(maxSims int) *Engine {
+	var sem chan struct{}
+	if maxSims > 0 {
+		sem = make(chan struct{}, maxSims)
+	}
+	return &Engine{ev: e, sem: sem}
+}
+
+// Evaluator returns the engine's underlying evaluator.
+func (g *Engine) Evaluator() *Evaluator { return g.ev }
+
+// Future is the pending result of one submitted query.
+type Future struct {
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+// Submit starts one query — exact hit, interpolation, or (coalesced,
+// admission-bounded) simulation — and returns immediately. The query
+// runs under ctx: cancelling it abandons the request (a simulation
+// already shared with other sessions keeps running for them).
+func (g *Engine) Submit(ctx context.Context, cfg space.Config) *Future {
+	f := &Future{done: make(chan struct{})}
+	cfg = cfg.Clone() // the caller may reuse its slice after Submit
+	go func() {
+		defer close(f.done)
+		f.res, f.err = g.ev.evaluateLive(ctx, cfg, g.sem)
+	}()
+	return f
+}
+
+// Evaluate is the synchronous form of Submit+Wait, without the
+// per-query goroutine and Future — the oracle hot path.
+func (g *Engine) Evaluate(ctx context.Context, cfg space.Config) (Result, error) {
+	return g.ev.evaluateLive(ctx, cfg, g.sem)
+}
+
+// Wait blocks until the query resolves or ctx is done, whichever comes
+// first. Abandoning a Future with a dead ctx does not cancel the
+// underlying request — that is governed by the context it was submitted
+// under.
+func (f *Future) Wait(ctx context.Context) (Result, error) {
+	select {
+	case <-f.done:
+		return f.res, f.err
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// Done exposes the completion channel for select loops.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// EngineOracle adapts an Engine to the optimisers' context-aware Oracle
+// interface: each Evaluate is one submitted session request, so K
+// optimiser instances sharing one engine coalesce their colliding
+// queries and respect the engine's simulation bound.
+type EngineOracle struct{ g *Engine }
+
+// Oracle adapts the engine to optim.Oracle.
+func (g *Engine) Oracle() *EngineOracle { return &EngineOracle{g: g} }
+
+// Evaluate answers one query through the session engine.
+func (o *EngineOracle) Evaluate(ctx context.Context, cfg space.Config) (float64, error) {
+	res, err := o.g.Evaluate(ctx, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return res.Lambda, nil
+}

@@ -1,6 +1,7 @@
 package evaluator
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -17,11 +18,26 @@ import (
 // EvaluateAll; all the benchmark simulators in this repository are,
 // because their datapaths derive per-call format sets rather than
 // mutating shared node state.
+//
+// A Simulator that additionally implements ContextSimulator can be
+// cancelled mid-simulation; plain Simulators are cancelled between
+// simulations (the evaluator never starts a new simulation on a dead
+// context).
 type Simulator interface {
 	// Evaluate returns λ(cfg).
 	Evaluate(cfg space.Config) (float64, error)
 	// Nv returns the number of optimisation variables.
 	Nv() int
+}
+
+// ContextSimulator is a Simulator whose simulations honour cancellation:
+// EvaluateContext should return promptly — typically with ctx.Err() —
+// once ctx is done. The evaluator's context-aware entry points prefer it
+// over Evaluate when it is implemented.
+type ContextSimulator interface {
+	Simulator
+	// EvaluateContext returns λ(cfg), aborting early when ctx is done.
+	EvaluateContext(ctx context.Context, cfg space.Config) (float64, error)
 }
 
 // SimulatorFunc adapts a function to the Simulator interface.
@@ -35,6 +51,39 @@ func (s SimulatorFunc) Evaluate(cfg space.Config) (float64, error) { return s.Fn
 
 // Nv implements Simulator.
 func (s SimulatorFunc) Nv() int { return s.NumVars }
+
+// ContextSimulatorFunc adapts a context-aware function to the
+// ContextSimulator interface.
+type ContextSimulatorFunc struct {
+	NumVars int
+	Fn      func(ctx context.Context, cfg space.Config) (float64, error)
+}
+
+// Evaluate implements Simulator with a background context.
+func (s ContextSimulatorFunc) Evaluate(cfg space.Config) (float64, error) {
+	return s.Fn(context.Background(), cfg)
+}
+
+// EvaluateContext implements ContextSimulator.
+func (s ContextSimulatorFunc) EvaluateContext(ctx context.Context, cfg space.Config) (float64, error) {
+	return s.Fn(ctx, cfg)
+}
+
+// Nv implements Simulator.
+func (s ContextSimulatorFunc) Nv() int { return s.NumVars }
+
+// simulate runs one simulation under ctx: a dead context aborts before
+// the simulator starts, and a ContextSimulator is additionally cancelled
+// mid-run.
+func simulate(ctx context.Context, sim Simulator, cfg space.Config) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if cs, ok := sim.(ContextSimulator); ok {
+		return cs.EvaluateContext(ctx, cfg)
+	}
+	return sim.Evaluate(cfg)
+}
 
 // Options configures the kriging-based evaluator.
 type Options struct {
@@ -91,6 +140,13 @@ type Options struct {
 	// kriges λ = -P directly (identity); the log-domain ablation uses a
 	// dB pair. Both must be set together.
 	Transform, Untransform func(float64) float64
+	// DisableCoalescing turns off single-flight simulation coalescing:
+	// by default concurrent identical cache misses (several goroutines —
+	// optimiser instances, engine sessions, batch workers — asking for
+	// the same not-yet-simulated configuration at the same time) share
+	// ONE simulation; the first caller runs the simulator and the rest
+	// block on its result. Sequential callers are unaffected either way.
+	DisableCoalescing bool
 }
 
 // ErrBadOptions reports an invalid Options combination.
@@ -152,12 +208,16 @@ type Result struct {
 }
 
 // Evaluator is the kriging-accelerated metric evaluator. It is safe for
-// concurrent use by multiple goroutines.
+// concurrent use by multiple goroutines; concurrent identical misses are
+// deduplicated through a single-flight table (see Options.
+// DisableCoalescing) shared by Evaluate, EvaluateAll and every Engine
+// session.
 type Evaluator struct {
-	sim   Simulator
-	opts  Options
-	store *store.Store
-	stats counters
+	sim     Simulator
+	opts    Options
+	store   *store.Store
+	stats   counters
+	flights inflight
 }
 
 // New builds an Evaluator around a Simulator.
@@ -183,6 +243,7 @@ func New(sim Simulator, opts Options) (*Evaluator, error) {
 			CellSize:   opts.StoreCellSize,
 			RadiusHint: hint,
 		}),
+		flights: newInflight(!opts.DisableCoalescing),
 	}, nil
 }
 
@@ -221,20 +282,61 @@ type storeView interface {
 }
 
 // Evaluate returns λ(cfg), interpolating when the support suffices and
-// simulating otherwise, per lines 7-24 of Algorithms 1-2.
+// simulating otherwise, per lines 7-24 of Algorithms 1-2. It is the
+// background-context form of EvaluateContext.
 func (e *Evaluator) Evaluate(cfg space.Config) (Result, error) {
+	return e.EvaluateContext(context.Background(), cfg)
+}
+
+// EvaluateContext is Evaluate under a request context: a cancelled or
+// expired ctx aborts the query — before the simulator starts, or inside
+// it when the simulator implements ContextSimulator — and surfaces ctx's
+// error. A query abandoned this way leaves the store and the activity
+// counters untouched (except for the simulator time already spent, which
+// stays in SimTime so the Eq. 2 model keeps measuring real cost).
+func (e *Evaluator) EvaluateContext(ctx context.Context, cfg space.Config) (Result, error) {
+	return e.evaluateLive(ctx, cfg, nil)
+}
+
+// evaluateLive answers one query against the live store: exact hit,
+// interpolation, or a coalesced simulation that is inserted into the
+// store before any sharing caller observes it. sem, when non-nil, bounds
+// concurrent simulations (the Engine's admission control); only flight
+// owners hold a slot, so coalesced followers never consume capacity.
+func (e *Evaluator) evaluateLive(ctx context.Context, cfg space.Config, sem chan struct{}) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	if res, ok := e.answerFromStore(e.store, cfg, &e.stats); ok {
 		return res, nil
 	}
-	start := time.Now()
-	lam, err := e.sim.Evaluate(cfg)
-	e.stats.simTime.Add(int64(time.Since(start)))
+	lam, err := e.simulateShared(ctx, cfg, &e.stats, sem, true)
 	if err != nil {
-		return Result{}, fmt.Errorf("evaluator: simulation of %v failed: %w", cfg, err)
+		return Result{}, err
 	}
-	e.store.Add(cfg, lam)
-	e.stats.nSim.Add(1)
 	return Result{Lambda: lam, Source: Simulated}, nil
+}
+
+// rawSimulate runs one (uncoalesced) simulation, charging the wall time
+// to stats and wrapping simulator failures; cancellations pass through
+// unwrapped so callers and coalesced followers can recognise them.
+func (e *Evaluator) rawSimulate(ctx context.Context, cfg space.Config, stats *counters) (float64, error) {
+	start := time.Now()
+	lam, err := simulate(ctx, e.sim, cfg)
+	stats.simTime.Add(int64(time.Since(start)))
+	if err != nil {
+		if isContextError(err) {
+			return 0, err
+		}
+		return 0, fmt.Errorf("evaluator: simulation of %v failed: %w", cfg, err)
+	}
+	return lam, nil
+}
+
+// isContextError reports whether err stems from context cancellation or
+// deadline expiry.
+func isContextError(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // answerFromStore resolves a query without simulating when possible: an

@@ -1,7 +1,9 @@
 package evaluator_test
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/evaluator"
 	"repro/internal/space"
@@ -49,4 +51,43 @@ func ExampleEvaluator_EvaluateAll() {
 	// (8,9) simulated
 	// (9,10) interpolated
 	// simulations: 4
+}
+
+// ExampleEngine_Submit serves concurrent sessions through the engine:
+// eight futures for the same configuration coalesce onto one
+// simulation, and the admission bound caps how many simulations the
+// engine lets fly at once.
+func ExampleEngine_Submit() {
+	var sims atomic.Int64
+	sim := evaluator.SimulatorFunc{
+		NumVars: 2,
+		Fn: func(c space.Config) (float64, error) {
+			sims.Add(1)
+			return -float64(c[0] + c[1]), nil
+		},
+	}
+	ev, err := evaluator.New(sim, evaluator.Options{})
+	if err != nil {
+		panic(err)
+	}
+	eng := ev.Engine(4) // at most 4 simulations in flight
+	ctx := context.Background()
+	var futures []*evaluator.Future
+	for i := 0; i < 8; i++ {
+		futures = append(futures, eng.Submit(ctx, space.Config{8, 12}))
+	}
+	for i, f := range futures {
+		res, err := f.Wait(ctx)
+		if err != nil {
+			panic(err)
+		}
+		if i > 0 {
+			fmt.Print(" ")
+		}
+		fmt.Printf("%.0f", res.Lambda)
+	}
+	fmt.Printf("\nsimulations: %d\n", sims.Load())
+	// Output:
+	// -20 -20 -20 -20 -20 -20 -20 -20
+	// simulations: 1
 }

@@ -1,11 +1,15 @@
 package evaluator
 
-import "repro/internal/space"
+import (
+	"context"
+
+	"repro/internal/space"
+)
 
 // Oracle adapts the evaluator to the optimisers' oracle interfaces: the
 // returned value implements both optim.Oracle (single queries) and
-// optim.BatchOracle (batched queries answered by EvaluateAll on up to
-// workers goroutines; zero or negative selects GOMAXPROCS). The min+1
+// optim.BatchOracle (batched queries answered by EvaluateAllContext on up
+// to workers goroutines; zero or negative selects GOMAXPROCS). The min+1
 // competition hands its Nv independent candidates to the batch path, so
 // one greedy round costs one simulation latency instead of Nv.
 //
@@ -13,6 +17,11 @@ import "repro/internal/space"
 // EvaluateBatch issues the queries one at a time against the live store,
 // so a later candidate can krige from (or exactly hit) an earlier
 // candidate's fresh simulation, matching the paper's pseudo-code order.
+//
+// Every query runs under the caller's context and flows through the same
+// request core as Engine sessions, so oracles sharing one evaluator
+// coalesce identical concurrent misses. For a shared, admission-bounded
+// oracle, see Engine.Oracle.
 func (e *Evaluator) Oracle(workers int) *EvaluatorOracle {
 	return &EvaluatorOracle{ev: e, workers: workers}
 }
@@ -24,8 +33,8 @@ type EvaluatorOracle struct {
 }
 
 // Evaluate answers one query, discarding the provenance information.
-func (o *EvaluatorOracle) Evaluate(cfg space.Config) (float64, error) {
-	res, err := o.ev.Evaluate(cfg)
+func (o *EvaluatorOracle) Evaluate(ctx context.Context, cfg space.Config) (float64, error) {
+	res, err := o.ev.EvaluateContext(ctx, cfg)
 	if err != nil {
 		return 0, err
 	}
@@ -33,13 +42,14 @@ func (o *EvaluatorOracle) Evaluate(cfg space.Config) (float64, error) {
 }
 
 // EvaluateBatch answers a batch of independent queries, indexed like
-// cfgs: sequentially through Evaluate when workers == 1 (one-at-a-time
-// semantics), through EvaluateAll's snapshot-batch semantics otherwise.
-func (o *EvaluatorOracle) EvaluateBatch(cfgs []space.Config) ([]float64, error) {
+// cfgs: sequentially through EvaluateContext when workers == 1
+// (one-at-a-time semantics), through EvaluateAllContext's snapshot-batch
+// semantics otherwise.
+func (o *EvaluatorOracle) EvaluateBatch(ctx context.Context, cfgs []space.Config) ([]float64, error) {
 	if o.workers == 1 {
 		lams := make([]float64, len(cfgs))
 		for i, c := range cfgs {
-			lam, err := o.Evaluate(c)
+			lam, err := o.Evaluate(ctx, c)
 			if err != nil {
 				return nil, err
 			}
@@ -47,7 +57,7 @@ func (o *EvaluatorOracle) EvaluateBatch(cfgs []space.Config) ([]float64, error) 
 		}
 		return lams, nil
 	}
-	results, err := o.ev.EvaluateAll(cfgs, o.workers)
+	results, err := o.ev.EvaluateAllContext(ctx, cfgs, o.workers)
 	if err != nil {
 		return nil, err
 	}

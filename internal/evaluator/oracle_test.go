@@ -1,6 +1,7 @@
 package evaluator
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -31,7 +32,7 @@ func TestOracleWorkers1SequentialSemantics(t *testing.T) {
 	batch := []space.Config{{4, 4}, {5, 5}}
 
 	seq := mkOracleEval(t)
-	if _, err := seq.Oracle(1).EvaluateBatch(batch); err != nil {
+	if _, err := seq.Oracle(1).EvaluateBatch(context.Background(), batch); err != nil {
 		t.Fatal(err)
 	}
 	if st := seq.Stats(); st.NInterp != 1 || st.NSim != 1 {
@@ -39,7 +40,7 @@ func TestOracleWorkers1SequentialSemantics(t *testing.T) {
 	}
 
 	snap := mkOracleEval(t)
-	if _, err := snap.Oracle(2).EvaluateBatch(batch); err != nil {
+	if _, err := snap.Oracle(2).EvaluateBatch(context.Background(), batch); err != nil {
 		t.Fatal(err)
 	}
 	if st := snap.Stats(); st.NInterp != 0 || st.NSim != 2 {

@@ -2,6 +2,7 @@ package evaluator
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -69,7 +70,7 @@ func LoadTrace(r io.Reader) (Trace, error) {
 		return nil, fmt.Errorf("evaluator: trace schema version %d, want %d", tf.Version, currentTraceVersion)
 	}
 	if len(tf.Points) == 0 {
-		return nil, fmt.Errorf("evaluator: trace has no points")
+		return nil, errors.New("evaluator: trace has no points")
 	}
 	nv := len(tf.Points[0].Config)
 	trace := make(Trace, len(tf.Points))

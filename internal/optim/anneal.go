@@ -1,6 +1,7 @@
 package optim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -44,8 +45,9 @@ type AnnealResult struct {
 }
 
 // Anneal runs simulated annealing and returns the best feasible
-// configuration found. It errors when no feasible state was ever visited.
-func Anneal(oracle Oracle, opts AnnealOptions) (AnnealResult, error) {
+// configuration found. It errors when no feasible state was ever visited;
+// cancelling ctx aborts the walk with ctx's error.
+func Anneal(ctx context.Context, oracle Oracle, opts AnnealOptions) (AnnealResult, error) {
 	if err := opts.Bounds.Validate(); err != nil {
 		return AnnealResult{}, err
 	}
@@ -79,7 +81,7 @@ func Anneal(oracle Oracle, opts AnnealOptions) (AnnealResult, error) {
 
 	res := AnnealResult{}
 	energy := func(c space.Config) (float64, float64, error) {
-		lam, err := oracle.Evaluate(c)
+		lam, err := oracle.Evaluate(ctx, c)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -115,6 +117,9 @@ func Anneal(oracle Oracle, opts AnnealOptions) (AnnealResult, error) {
 	decay := math.Pow(tEnd/tStart, 1/float64(steps))
 	temp := tStart
 	for step := 0; step < steps; step++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		// Propose: perturb one variable by ±1 (occasionally ±2 to jump
 		// over unit-wide barriers).
 		dim := r.Intn(nv)
@@ -133,9 +138,8 @@ func Anneal(oracle Oracle, opts AnnealOptions) (AnnealResult, error) {
 		}
 		consider(cand, candLam)
 		if candE <= curE || r.Float64() < math.Exp((curE-candE)/temp) {
-			cur, curE, curLam = cand, candE, candLam
+			cur, curE = cand, candE
 			res.Accepted++
-			_ = curLam
 		}
 		temp *= decay
 	}

@@ -15,14 +15,14 @@ func TestAnnealFindsFeasibleLowCost(t *testing.T) {
 		Bounds:    space.UniformBounds(2, 1, 12),
 		Seed:      1,
 	}
-	res, err := Anneal(oracle, opts)
+	res, err := Anneal(bg, oracle, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Lambda < opts.LambdaMin {
 		t.Errorf("result λ = %v violates constraint", res.Lambda)
 	}
-	ex, err := Exhaustive(oracle, ExhaustiveOptions{LambdaMin: opts.LambdaMin, Bounds: opts.Bounds})
+	ex, err := Exhaustive(bg, oracle, ExhaustiveOptions{LambdaMin: opts.LambdaMin, Bounds: opts.Bounds})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,11 +41,11 @@ func TestAnnealDeterministicPerSeed(t *testing.T) {
 		Bounds:    space.UniformBounds(3, 1, 12),
 		Seed:      7,
 	}
-	a, err := Anneal(oracle, opts)
+	a, err := Anneal(bg, oracle, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Anneal(oracle, opts)
+	b, err := Anneal(bg, oracle, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestAnnealDeterministicPerSeed(t *testing.T) {
 
 func TestAnnealInfeasible(t *testing.T) {
 	oracle := OracleFunc(func(space.Config) (float64, error) { return -1, nil })
-	if _, err := Anneal(oracle, AnnealOptions{
+	if _, err := Anneal(bg, oracle, AnnealOptions{
 		LambdaMin: 0,
 		Bounds:    space.UniformBounds(2, 1, 4),
 		Seed:      1,
@@ -67,10 +67,10 @@ func TestAnnealInfeasible(t *testing.T) {
 
 func TestAnnealValidation(t *testing.T) {
 	oracle := additiveNoiseOracle([]float64{1})
-	if _, err := Anneal(oracle, AnnealOptions{Bounds: space.Bounds{}}); err == nil {
+	if _, err := Anneal(bg, oracle, AnnealOptions{Bounds: space.Bounds{}}); err == nil {
 		t.Error("zero-dim bounds accepted")
 	}
-	if _, err := Anneal(oracle, AnnealOptions{
+	if _, err := Anneal(bg, oracle, AnnealOptions{
 		Bounds: space.UniformBounds(1, 1, 4),
 		TStart: 1, TEnd: 10,
 	}); err == nil {
@@ -90,11 +90,11 @@ func TestAnnealVsGreedyOnCoupledField(t *testing.T) {
 		return -p, nil
 	})
 	bounds := space.UniformBounds(2, 1, 14)
-	g, err := MinPlusOne(oracle, MinPlusOneOptions{LambdaMin: -1e-3, Bounds: bounds})
+	g, err := MinPlusOne(bg, oracle, MinPlusOneOptions{LambdaMin: -1e-3, Bounds: bounds})
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := Anneal(oracle, AnnealOptions{LambdaMin: -1e-3, Bounds: bounds, Seed: 3})
+	a, err := Anneal(bg, oracle, AnnealOptions{LambdaMin: -1e-3, Bounds: bounds, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

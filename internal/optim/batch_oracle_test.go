@@ -1,6 +1,7 @@
 package optim
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/space"
@@ -14,12 +15,12 @@ type recordingBatchOracle struct {
 	evals      int
 }
 
-func (o *recordingBatchOracle) Evaluate(cfg space.Config) (float64, error) {
+func (o *recordingBatchOracle) Evaluate(_ context.Context, cfg space.Config) (float64, error) {
 	o.evals++
 	return o.fn(cfg), nil
 }
 
-func (o *recordingBatchOracle) EvaluateBatch(cfgs []space.Config) ([]float64, error) {
+func (o *recordingBatchOracle) EvaluateBatch(_ context.Context, cfgs []space.Config) ([]float64, error) {
 	o.batchCalls++
 	out := make([]float64, len(cfgs))
 	for i, c := range cfgs {
@@ -49,12 +50,12 @@ func TestMinPlusOneBatchOracleMatchesSequential(t *testing.T) {
 		Bounds:    space.Bounds{Lo: space.Config{1, 1, 1}, Hi: space.Config{16, 16, 16}},
 	}
 	seqOracle := OracleFunc(func(cfg space.Config) (float64, error) { return field(cfg), nil })
-	seq, err := MinPlusOne(seqOracle, opts)
+	seq, err := MinPlusOne(bg, seqOracle, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	bo := &recordingBatchOracle{fn: field}
-	bat, err := MinPlusOne(bo, opts)
+	bat, err := MinPlusOne(bg, bo, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package optim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -43,8 +44,9 @@ type NoiseBudgetResult struct {
 // NoiseBudget runs the steepest-descent budgeting loop: starting from the
 // quietest configuration, repeatedly try incrementing each source by one
 // step, commit the increment that keeps the highest quality, and stop
-// when every possible increment would violate the constraint.
-func NoiseBudget(oracle Oracle, opts NoiseBudgetOptions) (NoiseBudgetResult, error) {
+// when every possible increment would violate the constraint. Cancelling
+// ctx aborts the loop at the next evaluation boundary with ctx's error.
+func NoiseBudget(ctx context.Context, oracle Oracle, opts NoiseBudgetOptions) (NoiseBudgetResult, error) {
 	if err := opts.Bounds.Validate(); err != nil {
 		return NoiseBudgetResult{}, err
 	}
@@ -55,7 +57,7 @@ func NoiseBudget(oracle Oracle, opts NoiseBudgetOptions) (NoiseBudgetResult, err
 	res := NoiseBudgetResult{}
 	e := opts.Bounds.Corner(false) // quietest
 
-	lam, err := oracle.Evaluate(e)
+	lam, err := oracle.Evaluate(ctx, e)
 	res.Evaluations++
 	if err != nil {
 		return res, fmt.Errorf("optim: budgeting seed evaluation: %w", err)
@@ -72,6 +74,9 @@ func NoiseBudget(oracle Oracle, opts NoiseBudgetOptions) (NoiseBudgetResult, err
 		maxIter++
 	}
 	for iter := 0; iter < maxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		bestVar := -1
 		bestLam := 0.0
 		for i := 0; i < nv; i++ {
@@ -79,7 +84,7 @@ func NoiseBudget(oracle Oracle, opts NoiseBudgetOptions) (NoiseBudgetResult, err
 				continue
 			}
 			cand := e.With(i, e[i]+1)
-			li, err := oracle.Evaluate(cand)
+			li, err := oracle.Evaluate(ctx, cand)
 			res.Evaluations++
 			if err != nil {
 				return res, fmt.Errorf("optim: budgeting evaluation of %v: %w", cand, err)

@@ -1,6 +1,7 @@
 package optim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -43,8 +44,8 @@ type ExhaustiveResult struct {
 // Exhaustive enumerates the whole bounded lattice and returns the
 // feasible configuration of minimum cost, the ground truth the
 // integration tests compare the greedy optimisers against on small
-// spaces.
-func Exhaustive(oracle Oracle, opts ExhaustiveOptions) (ExhaustiveResult, error) {
+// spaces. Cancelling ctx aborts the enumeration with ctx's error.
+func Exhaustive(ctx context.Context, oracle Oracle, opts ExhaustiveOptions) (ExhaustiveResult, error) {
 	if err := opts.Bounds.Validate(); err != nil {
 		return ExhaustiveResult{}, err
 	}
@@ -64,7 +65,11 @@ func Exhaustive(oracle Oracle, opts ExhaustiveOptions) (ExhaustiveResult, error)
 	var evalErr error
 	found := false
 	opts.Bounds.Enumerate(func(c space.Config) bool {
-		lam, err := oracle.Evaluate(c)
+		if err := ctx.Err(); err != nil {
+			evalErr = err
+			return false
+		}
+		lam, err := oracle.Evaluate(ctx, c)
 		res.Evaluations++
 		if err != nil {
 			evalErr = fmt.Errorf("optim: exhaustive evaluation of %v: %w", c, err)

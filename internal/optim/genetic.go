@@ -1,6 +1,7 @@
 package optim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -51,8 +52,9 @@ type individual struct {
 }
 
 // Genetic runs the genetic algorithm and returns the best feasible
-// configuration found across all generations.
-func Genetic(oracle Oracle, opts GeneticOptions) (GeneticResult, error) {
+// configuration found across all generations; cancelling ctx aborts the
+// evolution with ctx's error.
+func Genetic(ctx context.Context, oracle Oracle, opts GeneticOptions) (GeneticResult, error) {
 	if err := opts.Bounds.Validate(); err != nil {
 		return GeneticResult{}, err
 	}
@@ -95,7 +97,10 @@ func Genetic(oracle Oracle, opts GeneticOptions) (GeneticResult, error) {
 	res := GeneticResult{}
 	bestFeasible := false
 	evaluate := func(g space.Config) (individual, error) {
-		lam, err := oracle.Evaluate(g)
+		if err := ctx.Err(); err != nil {
+			return individual{}, err
+		}
+		lam, err := oracle.Evaluate(ctx, g)
 		if err != nil {
 			return individual{}, err
 		}
@@ -141,6 +146,9 @@ func Genetic(oracle Oracle, opts GeneticOptions) (GeneticResult, error) {
 		return b
 	}
 	for gen := 0; gen < gens; gen++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		res.Generations = gen + 1
 		sort.SliceStable(cur, func(i, j int) bool { return cur[i].fitness < cur[j].fitness })
 		next := make([]individual, 0, pop)

@@ -14,14 +14,14 @@ func TestGeneticFindsFeasibleLowCost(t *testing.T) {
 		Bounds:    space.UniformBounds(2, 1, 12),
 		Seed:      1,
 	}
-	res, err := Genetic(oracle, opts)
+	res, err := Genetic(bg, oracle, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Lambda < opts.LambdaMin {
 		t.Errorf("result λ = %v violates constraint", res.Lambda)
 	}
-	ex, err := Exhaustive(oracle, ExhaustiveOptions{LambdaMin: opts.LambdaMin, Bounds: opts.Bounds})
+	ex, err := Exhaustive(bg, oracle, ExhaustiveOptions{LambdaMin: opts.LambdaMin, Bounds: opts.Bounds})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,11 +38,11 @@ func TestGeneticDeterministicPerSeed(t *testing.T) {
 		Generations: 10,
 		Seed:        5,
 	}
-	a, err := Genetic(oracle, opts)
+	a, err := Genetic(bg, oracle, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Genetic(oracle, opts)
+	b, err := Genetic(bg, oracle, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestGeneticDeterministicPerSeed(t *testing.T) {
 
 func TestGeneticInfeasible(t *testing.T) {
 	oracle := OracleFunc(func(space.Config) (float64, error) { return -1, nil })
-	if _, err := Genetic(oracle, GeneticOptions{
+	if _, err := Genetic(bg, oracle, GeneticOptions{
 		LambdaMin:   0,
 		Bounds:      space.UniformBounds(2, 1, 4),
 		Generations: 3,
@@ -65,10 +65,10 @@ func TestGeneticInfeasible(t *testing.T) {
 
 func TestGeneticValidation(t *testing.T) {
 	oracle := additiveNoiseOracle([]float64{1})
-	if _, err := Genetic(oracle, GeneticOptions{Bounds: space.Bounds{}}); err == nil {
+	if _, err := Genetic(bg, oracle, GeneticOptions{Bounds: space.Bounds{}}); err == nil {
 		t.Error("zero-dim bounds accepted")
 	}
-	if _, err := Genetic(oracle, GeneticOptions{
+	if _, err := Genetic(bg, oracle, GeneticOptions{
 		Bounds:     space.UniformBounds(1, 1, 4),
 		Population: 4,
 		Elite:      4,
@@ -85,7 +85,7 @@ func TestGeneticRespectsBounds(t *testing.T) {
 		}
 		return 1, nil
 	})
-	if _, err := Genetic(oracle, GeneticOptions{
+	if _, err := Genetic(bg, oracle, GeneticOptions{
 		LambdaMin:   0,
 		Bounds:      bounds,
 		Generations: 5,

@@ -1,6 +1,7 @@
 package optim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -30,8 +31,9 @@ type MaxMinusOneResult struct {
 	Steps       int
 }
 
-// MaxMinusOne runs the max-1 bit descent.
-func MaxMinusOne(oracle Oracle, opts MaxMinusOneOptions) (MaxMinusOneResult, error) {
+// MaxMinusOne runs the max-1 bit descent. Cancelling ctx aborts the
+// descent at the next evaluation boundary with ctx's error.
+func MaxMinusOne(ctx context.Context, oracle Oracle, opts MaxMinusOneOptions) (MaxMinusOneResult, error) {
 	if err := opts.Bounds.Validate(); err != nil {
 		return MaxMinusOneResult{}, err
 	}
@@ -41,7 +43,7 @@ func MaxMinusOne(oracle Oracle, opts MaxMinusOneOptions) (MaxMinusOneResult, err
 	}
 	res := MaxMinusOneResult{}
 	w := opts.Bounds.Corner(true)
-	lam, err := oracle.Evaluate(w)
+	lam, err := oracle.Evaluate(ctx, w)
 	res.Evaluations++
 	if err != nil {
 		return res, fmt.Errorf("optim: max-1 seed evaluation: %w", err)
@@ -58,6 +60,9 @@ func MaxMinusOne(oracle Oracle, opts MaxMinusOneOptions) (MaxMinusOneResult, err
 		maxIter++
 	}
 	for iter := 0; iter < maxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		bestVar := -1
 		bestLam := 0.0
 		for i := 0; i < nv; i++ {
@@ -65,7 +70,7 @@ func MaxMinusOne(oracle Oracle, opts MaxMinusOneOptions) (MaxMinusOneResult, err
 				continue
 			}
 			cand := w.With(i, w[i]-1)
-			li, err := oracle.Evaluate(cand)
+			li, err := oracle.Evaluate(ctx, cand)
 			res.Evaluations++
 			if err != nil {
 				return res, fmt.Errorf("optim: max-1 evaluation of %v: %w", cand, err)
@@ -112,7 +117,8 @@ type LocalSearchResult struct {
 }
 
 // LocalSearch refines a feasible incumbent configuration in place.
-func LocalSearch(oracle Oracle, start space.Config, opts LocalSearchOptions) (LocalSearchResult, error) {
+// Cancelling ctx aborts the refinement with ctx's error.
+func LocalSearch(ctx context.Context, oracle Oracle, start space.Config, opts LocalSearchOptions) (LocalSearchResult, error) {
 	if err := opts.Bounds.Validate(); err != nil {
 		return LocalSearchResult{}, err
 	}
@@ -132,7 +138,7 @@ func LocalSearch(oracle Oracle, start space.Config, opts LocalSearchOptions) (Lo
 		maxIter = 100
 	}
 	res := LocalSearchResult{W: start.Clone()}
-	lam, err := oracle.Evaluate(res.W)
+	lam, err := oracle.Evaluate(ctx, res.W)
 	res.Evaluations++
 	if err != nil {
 		return res, fmt.Errorf("optim: local-search seed evaluation: %w", err)
@@ -153,7 +159,7 @@ func LocalSearch(oracle Oracle, start space.Config, opts LocalSearchOptions) (Lo
 		if cc >= res.Cost {
 			return false, nil
 		}
-		li, err := oracle.Evaluate(cand)
+		li, err := oracle.Evaluate(ctx, cand)
 		res.Evaluations++
 		if err != nil {
 			return false, err
@@ -168,6 +174,9 @@ func LocalSearch(oracle Oracle, start space.Config, opts LocalSearchOptions) (Lo
 		return true, nil
 	}
 	for iter := 0; iter < maxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		moved := false
 		// Single-variable decrements (the cost-reducing direction).
 		for i := 0; i < nv && !moved; i++ {

@@ -12,7 +12,7 @@ import (
 
 func TestMaxMinusOneConverges(t *testing.T) {
 	oracle := additiveNoiseOracle([]float64{1, 1})
-	res, err := MaxMinusOne(oracle, MaxMinusOneOptions{
+	res, err := MaxMinusOne(bg, oracle, MaxMinusOneOptions{
 		LambdaMin: -1e-4,
 		Bounds:    space.UniformBounds(2, 2, 16),
 	})
@@ -27,7 +27,7 @@ func TestMaxMinusOneConverges(t *testing.T) {
 		if res.WRes[i] <= 2 {
 			continue
 		}
-		lam, _ := oracle.Evaluate(res.WRes.With(i, res.WRes[i]-1))
+		lam, _ := oracle.Evaluate(bg, res.WRes.With(i, res.WRes[i]-1))
 		if lam >= -1e-4 {
 			t.Errorf("variable %d still decrementable at %v", i, res.WRes)
 		}
@@ -39,11 +39,11 @@ func TestMaxMinusOneAgreesWithMinPlusOne(t *testing.T) {
 	// on costs within a bit or two of each other.
 	oracle := additiveNoiseOracle([]float64{1, 3, 0.3})
 	bounds := space.UniformBounds(3, 1, 14)
-	up, err := MinPlusOne(oracle, MinPlusOneOptions{LambdaMin: -1e-3, Bounds: bounds})
+	up, err := MinPlusOne(bg, oracle, MinPlusOneOptions{LambdaMin: -1e-3, Bounds: bounds})
 	if err != nil {
 		t.Fatal(err)
 	}
-	down, err := MaxMinusOne(oracle, MaxMinusOneOptions{LambdaMin: -1e-3, Bounds: bounds})
+	down, err := MaxMinusOne(bg, oracle, MaxMinusOneOptions{LambdaMin: -1e-3, Bounds: bounds})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func TestMaxMinusOneAgreesWithMinPlusOne(t *testing.T) {
 
 func TestMaxMinusOneInfeasible(t *testing.T) {
 	oracle := OracleFunc(func(space.Config) (float64, error) { return -1, nil })
-	if _, err := MaxMinusOne(oracle, MaxMinusOneOptions{
+	if _, err := MaxMinusOne(bg, oracle, MaxMinusOneOptions{
 		LambdaMin: 0,
 		Bounds:    space.UniformBounds(2, 1, 4),
 	}); !errors.Is(err, ErrInfeasible) {
@@ -64,7 +64,7 @@ func TestMaxMinusOneInfeasible(t *testing.T) {
 
 func TestMaxMinusOneStopsAtLowerBound(t *testing.T) {
 	oracle := OracleFunc(func(space.Config) (float64, error) { return 1, nil })
-	res, err := MaxMinusOne(oracle, MaxMinusOneOptions{
+	res, err := MaxMinusOne(bg, oracle, MaxMinusOneOptions{
 		LambdaMin: 0,
 		Bounds:    space.UniformBounds(2, 3, 6),
 	})
@@ -82,7 +82,7 @@ func TestLocalSearchImproves(t *testing.T) {
 	oracle := additiveNoiseOracle([]float64{1, 1})
 	bounds := space.UniformBounds(2, 2, 16)
 	start := space.Config{14, 14}
-	res, err := LocalSearch(oracle, start, LocalSearchOptions{
+	res, err := LocalSearch(bg, oracle, start, LocalSearchOptions{
 		LambdaMin: -1e-3,
 		Bounds:    bounds,
 	})
@@ -103,11 +103,11 @@ func TestLocalSearchImproves(t *testing.T) {
 func TestLocalSearchAtOptimumStays(t *testing.T) {
 	oracle := additiveNoiseOracle([]float64{1, 1})
 	bounds := space.UniformBounds(2, 1, 12)
-	ex, err := Exhaustive(oracle, ExhaustiveOptions{LambdaMin: -1e-3, Bounds: bounds})
+	ex, err := Exhaustive(bg, oracle, ExhaustiveOptions{LambdaMin: -1e-3, Bounds: bounds})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := LocalSearch(oracle, ex.Best, LocalSearchOptions{LambdaMin: -1e-3, Bounds: bounds})
+	res, err := LocalSearch(bg, oracle, ex.Best, LocalSearchOptions{LambdaMin: -1e-3, Bounds: bounds})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,10 +119,10 @@ func TestLocalSearchAtOptimumStays(t *testing.T) {
 func TestLocalSearchValidation(t *testing.T) {
 	oracle := additiveNoiseOracle([]float64{1})
 	bounds := space.UniformBounds(1, 1, 8)
-	if _, err := LocalSearch(oracle, space.Config{99}, LocalSearchOptions{Bounds: bounds}); err == nil {
+	if _, err := LocalSearch(bg, oracle, space.Config{99}, LocalSearchOptions{Bounds: bounds}); err == nil {
 		t.Error("out-of-bounds start accepted")
 	}
-	if _, err := LocalSearch(oracle, space.Config{1}, LocalSearchOptions{
+	if _, err := LocalSearch(bg, oracle, space.Config{1}, LocalSearchOptions{
 		LambdaMin: 0, // infeasible at w=1 (λ is negative)
 		Bounds:    bounds,
 	}); !errors.Is(err, ErrInfeasible) {
@@ -135,7 +135,7 @@ func TestLocalSearchBitExchangeWithCustomCost(t *testing.T) {
 	oracle := additiveNoiseOracle([]float64{1, 1})
 	bounds := space.UniformBounds(2, 2, 16)
 	cost := func(c space.Config) float64 { return 2*float64(c[0]) + float64(c[1]) }
-	res, err := LocalSearch(oracle, space.Config{12, 10}, LocalSearchOptions{
+	res, err := LocalSearch(bg, oracle, space.Config{12, 10}, LocalSearchOptions{
 		LambdaMin: -1e-3,
 		Bounds:    bounds,
 		Cost:      cost,
@@ -158,14 +158,14 @@ func TestPropertyMaxMinusOneFeasible(t *testing.T) {
 		}
 		oracle := additiveNoiseOracle(coef)
 		lambdaMin := -math.Exp2(-2 * (4 + 6*r.Float64()))
-		res, err := MaxMinusOne(oracle, MaxMinusOneOptions{
+		res, err := MaxMinusOne(bg, oracle, MaxMinusOneOptions{
 			LambdaMin: lambdaMin,
 			Bounds:    space.UniformBounds(nv, 1, 16),
 		})
 		if err != nil {
 			return errors.Is(err, ErrInfeasible)
 		}
-		lam, _ := oracle.Evaluate(res.WRes)
+		lam, _ := oracle.Evaluate(bg, res.WRes)
 		return lam >= lambdaMin
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
@@ -188,7 +188,7 @@ func TestPropertyLocalSearchNeverWorsens(t *testing.T) {
 			start[i] = r.IntRange(10, 14)
 		}
 		lambdaMin := -1e-2
-		res, err := LocalSearch(oracle, start, LocalSearchOptions{LambdaMin: lambdaMin, Bounds: bounds})
+		res, err := LocalSearch(bg, oracle, start, LocalSearchOptions{LambdaMin: lambdaMin, Bounds: bounds})
 		if err != nil {
 			return errors.Is(err, ErrInfeasible)
 		}

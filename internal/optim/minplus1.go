@@ -11,23 +11,38 @@
 package optim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/space"
 )
 
-// Oracle evaluates the quality metric λ of a configuration. Both raw
-// simulators and the kriging evaluator satisfy it.
+// Oracle evaluates the quality metric λ of a configuration under a
+// request context. Every optimiser in this package threads its own
+// context through, so a cancelled context (deadline, signal, caller
+// shutdown) aborts the whole campaign between — and, with a
+// context-aware oracle such as the kriging evaluator, inside —
+// simulations. Ctx-oblivious metric functions adapt through OracleFunc.
 type Oracle interface {
-	Evaluate(cfg space.Config) (float64, error)
+	Evaluate(ctx context.Context, cfg space.Config) (float64, error)
 }
 
-// OracleFunc adapts a plain function to Oracle.
+// OracleFunc adapts a plain, context-oblivious function to Oracle; the
+// optimisers still cancel between evaluations because they check their
+// context at every loop step.
 type OracleFunc func(cfg space.Config) (float64, error)
 
+// Evaluate implements Oracle, ignoring the context.
+func (f OracleFunc) Evaluate(_ context.Context, cfg space.Config) (float64, error) { return f(cfg) }
+
+// ContextOracleFunc adapts a context-aware function to Oracle.
+type ContextOracleFunc func(ctx context.Context, cfg space.Config) (float64, error)
+
 // Evaluate implements Oracle.
-func (f OracleFunc) Evaluate(cfg space.Config) (float64, error) { return f(cfg) }
+func (f ContextOracleFunc) Evaluate(ctx context.Context, cfg space.Config) (float64, error) {
+	return f(ctx, cfg)
+}
 
 // BatchOracle is an Oracle that can answer several independent queries as
 // one batch — the kriging evaluator's EvaluateAll satisfies it through an
@@ -40,7 +55,7 @@ func (f OracleFunc) Evaluate(cfg space.Config) (float64, error) { return f(cfg) 
 type BatchOracle interface {
 	Oracle
 	// EvaluateBatch returns λ for each configuration, indexed like cfgs.
-	EvaluateBatch(cfgs []space.Config) ([]float64, error)
+	EvaluateBatch(ctx context.Context, cfgs []space.Config) ([]float64, error)
 }
 
 // ErrInfeasible is returned when no configuration within bounds satisfies
@@ -83,7 +98,10 @@ type MinPlusOneResult struct {
 // the competition picks argmax λi rather than argmin (argmin cannot
 // converge with λ = -P), and the loop runs until λ >= λm rather than
 // λ <= λm (the constraint of Eq. 1 is λ > λmin).
-func MinPlusOne(oracle Oracle, opts MinPlusOneOptions) (MinPlusOneResult, error) {
+//
+// Cancelling ctx aborts the run at the next evaluation boundary (or
+// mid-simulation when the oracle is context-aware) with ctx's error.
+func MinPlusOne(ctx context.Context, oracle Oracle, opts MinPlusOneOptions) (MinPlusOneResult, error) {
 	if err := opts.Bounds.Validate(); err != nil {
 		return MinPlusOneResult{}, err
 	}
@@ -93,14 +111,14 @@ func MinPlusOne(oracle Oracle, opts MinPlusOneOptions) (MinPlusOneResult, error)
 	}
 	res := MinPlusOneResult{}
 
-	wmin, nEval, err := minimumWordlengths(oracle, opts)
+	wmin, nEval, err := minimumWordlengths(ctx, oracle, opts)
 	res.Evaluations += nEval
 	if err != nil {
 		return res, err
 	}
 	res.WMin = wmin
 
-	wres, lambda, nEval, err := greedyRefine(oracle, opts, wmin)
+	wres, lambda, nEval, err := greedyRefine(ctx, oracle, opts, wmin)
 	res.Evaluations += nEval
 	if err != nil {
 		return res, err
@@ -113,7 +131,7 @@ func MinPlusOne(oracle Oracle, opts MinPlusOneOptions) (MinPlusOneResult, error)
 // minimumWordlengths is Algorithm 1: for each variable i, pin all others
 // at Nmax and walk w_i downward until the accuracy constraint breaks;
 // the minimum is one step above the break point.
-func minimumWordlengths(oracle Oracle, opts MinPlusOneOptions) (space.Config, int, error) {
+func minimumWordlengths(ctx context.Context, oracle Oracle, opts MinPlusOneOptions) (space.Config, int, error) {
 	nv := opts.Bounds.Dim()
 	wmin := make(space.Config, nv)
 	nEval := 0
@@ -122,7 +140,10 @@ func minimumWordlengths(oracle Oracle, opts MinPlusOneOptions) (space.Config, in
 		w := opts.Bounds.Corner(true) // (Nmax, ..., Nmax)
 		lastOK := unset
 		for {
-			lam, err := oracle.Evaluate(w)
+			if err := ctx.Err(); err != nil {
+				return nil, nEval, err
+			}
+			lam, err := oracle.Evaluate(ctx, w)
 			nEval++
 			if err != nil {
 				return nil, nEval, fmt.Errorf("optim: phase 1 evaluation of %v: %w", w, err)
@@ -149,12 +170,12 @@ func minimumWordlengths(oracle Oracle, opts MinPlusOneOptions) (space.Config, in
 // greedyRefine is Algorithm 2: from wmin, repeatedly run a competition
 // between the variables — each candidate adds one bit to one variable —
 // and commit the winner until the constraint is met.
-func greedyRefine(oracle Oracle, opts MinPlusOneOptions, wmin space.Config) (space.Config, float64, int, error) {
+func greedyRefine(ctx context.Context, oracle Oracle, opts MinPlusOneOptions, wmin space.Config) (space.Config, float64, int, error) {
 	nv := opts.Bounds.Dim()
 	wres := wmin.Clone()
 	nEval := 0
 
-	lam, err := oracle.Evaluate(wres)
+	lam, err := oracle.Evaluate(ctx, wres)
 	nEval++
 	if err != nil {
 		return nil, 0, nEval, fmt.Errorf("optim: phase 2 seed evaluation: %w", err)
@@ -168,6 +189,9 @@ func greedyRefine(oracle Oracle, opts MinPlusOneOptions, wmin space.Config) (spa
 	}
 	batch, _ := oracle.(BatchOracle)
 	for iter := 0; lam < opts.LambdaMin; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, nEval, err
+		}
 		if iter >= maxIter {
 			return nil, 0, nEval, fmt.Errorf("optim: greedy phase exceeded %d iterations", maxIter)
 		}
@@ -192,7 +216,7 @@ func greedyRefine(oracle Oracle, opts MinPlusOneOptions, wmin space.Config) (spa
 			// batch-capable oracle evaluates the whole competition in
 			// parallel; ties keep the lowest variable index, exactly as
 			// in the sequential scan.
-			lams, err := batch.EvaluateBatch(cands)
+			lams, err := batch.EvaluateBatch(ctx, cands)
 			if err != nil {
 				// The run aborts here. How much of the round actually
 				// executed depends on the oracle (a snapshot batch is
@@ -209,7 +233,7 @@ func greedyRefine(oracle Oracle, opts MinPlusOneOptions, wmin space.Config) (spa
 			}
 		} else {
 			for j, w := range cands {
-				li, err := oracle.Evaluate(w)
+				li, err := oracle.Evaluate(ctx, w)
 				nEval++
 				if err != nil {
 					return nil, 0, nEval, fmt.Errorf("optim: phase 2 evaluation of %v: %w", w, err)

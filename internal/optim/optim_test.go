@@ -1,6 +1,7 @@
 package optim
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -9,6 +10,9 @@ import (
 	"repro/internal/rng"
 	"repro/internal/space"
 )
+
+// bg is the request context of tests that never cancel.
+var bg = context.Background()
 
 // additiveNoiseOracle models the canonical word-length accuracy field:
 // λ(w) = -Σ c_i·2^(-2·w_i), smooth and monotone in every variable.
@@ -24,7 +28,7 @@ func additiveNoiseOracle(coef []float64) Oracle {
 
 func TestMinPlusOneConverges(t *testing.T) {
 	oracle := additiveNoiseOracle([]float64{1, 1})
-	res, err := MinPlusOne(oracle, MinPlusOneOptions{
+	res, err := MinPlusOne(bg, oracle, MinPlusOneOptions{
 		LambdaMin: -1e-4,
 		Bounds:    space.UniformBounds(2, 2, 16),
 	})
@@ -34,8 +38,6 @@ func TestMinPlusOneConverges(t *testing.T) {
 	if res.Lambda < -1e-4 {
 		t.Errorf("result λ = %v violates the constraint", res.Lambda)
 	}
-	lamMin, _ := oracle.Evaluate(res.WMin)
-	_ = lamMin
 	// Per-variable minimum must be below or equal to the final result.
 	for i := range res.WRes {
 		if res.WMin[i] > res.WRes[i] {
@@ -55,11 +57,11 @@ func TestMinPlusOneMatchesExhaustiveCost(t *testing.T) {
 		LambdaMin: -1e-3,
 		Bounds:    space.UniformBounds(2, 1, 12),
 	}
-	res, err := MinPlusOne(oracle, opts)
+	res, err := MinPlusOne(bg, oracle, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex, err := Exhaustive(oracle, ExhaustiveOptions{LambdaMin: opts.LambdaMin, Bounds: opts.Bounds})
+	ex, err := Exhaustive(bg, oracle, ExhaustiveOptions{LambdaMin: opts.LambdaMin, Bounds: opts.Bounds})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,18 +78,18 @@ func TestMinPlusOneWMinIsMinimal(t *testing.T) {
 		LambdaMin: -1e-3,
 		Bounds:    space.UniformBounds(3, 1, 14),
 	}
-	res, err := MinPlusOne(oracle, opts)
+	res, err := MinPlusOne(bg, oracle, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
 		at := opts.Bounds.Corner(true).With(i, res.WMin[i])
-		lam, _ := oracle.Evaluate(at)
+		lam, _ := oracle.Evaluate(bg, at)
 		if lam < opts.LambdaMin {
 			t.Errorf("wmin[%d] = %d does not satisfy the constraint", i, res.WMin[i])
 		}
 		if res.WMin[i] > opts.Bounds.Lo[i] {
-			below, _ := oracle.Evaluate(at.With(i, res.WMin[i]-1))
+			below, _ := oracle.Evaluate(bg, at.With(i, res.WMin[i]-1))
 			if below >= opts.LambdaMin {
 				t.Errorf("wmin[%d] = %d is not minimal (wl-1 still passes)", i, res.WMin[i])
 			}
@@ -97,7 +99,7 @@ func TestMinPlusOneWMinIsMinimal(t *testing.T) {
 
 func TestMinPlusOneInfeasible(t *testing.T) {
 	oracle := OracleFunc(func(space.Config) (float64, error) { return -1, nil })
-	_, err := MinPlusOne(oracle, MinPlusOneOptions{
+	_, err := MinPlusOne(bg, oracle, MinPlusOneOptions{
 		LambdaMin: 0, // unreachable: λ is always -1
 		Bounds:    space.UniformBounds(2, 1, 4),
 	})
@@ -109,7 +111,7 @@ func TestMinPlusOneInfeasible(t *testing.T) {
 func TestMinPlusOnePropagatesOracleError(t *testing.T) {
 	boom := errors.New("boom")
 	oracle := OracleFunc(func(space.Config) (float64, error) { return 0, boom })
-	if _, err := MinPlusOne(oracle, MinPlusOneOptions{
+	if _, err := MinPlusOne(bg, oracle, MinPlusOneOptions{
 		LambdaMin: -1, Bounds: space.UniformBounds(1, 1, 4),
 	}); !errors.Is(err, boom) {
 		t.Errorf("err = %v", err)
@@ -117,7 +119,7 @@ func TestMinPlusOnePropagatesOracleError(t *testing.T) {
 }
 
 func TestMinPlusOneZeroDim(t *testing.T) {
-	if _, err := MinPlusOne(additiveNoiseOracle(nil), MinPlusOneOptions{
+	if _, err := MinPlusOne(bg, additiveNoiseOracle(nil), MinPlusOneOptions{
 		Bounds: space.Bounds{},
 	}); err == nil {
 		t.Error("zero-dimensional bounds accepted")
@@ -125,7 +127,7 @@ func TestMinPlusOneZeroDim(t *testing.T) {
 }
 
 func TestMinPlusOneInvalidBounds(t *testing.T) {
-	if _, err := MinPlusOne(additiveNoiseOracle([]float64{1}), MinPlusOneOptions{
+	if _, err := MinPlusOne(bg, additiveNoiseOracle([]float64{1}), MinPlusOneOptions{
 		Bounds: space.Bounds{Lo: []int{5}, Hi: []int{2}},
 	}); err == nil {
 		t.Error("inverted bounds accepted")
@@ -141,7 +143,7 @@ func TestNoiseBudgetConverges(t *testing.T) {
 		}
 		return 1 - s, nil
 	})
-	res, err := NoiseBudget(oracle, NoiseBudgetOptions{
+	res, err := NoiseBudget(bg, oracle, NoiseBudgetOptions{
 		LambdaMin: 0.9,
 		Bounds:    space.UniformBounds(2, 0, 20),
 	})
@@ -169,7 +171,7 @@ func TestNoiseBudgetPrefersInsensitiveSource(t *testing.T) {
 	oracle := OracleFunc(func(c space.Config) (float64, error) {
 		return 1 - float64(c[0])*0.1 - float64(c[1])*0.01, nil
 	})
-	res, err := NoiseBudget(oracle, NoiseBudgetOptions{
+	res, err := NoiseBudget(bg, oracle, NoiseBudgetOptions{
 		LambdaMin: 0.95,
 		Bounds:    space.UniformBounds(2, 0, 10),
 	})
@@ -183,7 +185,7 @@ func TestNoiseBudgetPrefersInsensitiveSource(t *testing.T) {
 
 func TestNoiseBudgetInfeasibleStart(t *testing.T) {
 	oracle := OracleFunc(func(space.Config) (float64, error) { return 0.5, nil })
-	_, err := NoiseBudget(oracle, NoiseBudgetOptions{
+	_, err := NoiseBudget(bg, oracle, NoiseBudgetOptions{
 		LambdaMin: 0.9,
 		Bounds:    space.UniformBounds(2, 0, 5),
 	})
@@ -196,7 +198,7 @@ func TestNoiseBudgetStopsAtBounds(t *testing.T) {
 	// Quality never drops: the budget must stop at the Hi corner rather
 	// than loop forever.
 	oracle := OracleFunc(func(space.Config) (float64, error) { return 1, nil })
-	res, err := NoiseBudget(oracle, NoiseBudgetOptions{
+	res, err := NoiseBudget(bg, oracle, NoiseBudgetOptions{
 		LambdaMin: 0.5,
 		Bounds:    space.UniformBounds(2, 0, 3),
 	})
@@ -210,7 +212,7 @@ func TestNoiseBudgetStopsAtBounds(t *testing.T) {
 
 func TestExhaustiveFindsOptimum(t *testing.T) {
 	oracle := additiveNoiseOracle([]float64{1, 1})
-	res, err := Exhaustive(oracle, ExhaustiveOptions{
+	res, err := Exhaustive(bg, oracle, ExhaustiveOptions{
 		LambdaMin: -1e-2,
 		Bounds:    space.UniformBounds(2, 1, 8),
 	})
@@ -226,7 +228,7 @@ func TestExhaustiveFindsOptimum(t *testing.T) {
 	// Verify optimality directly.
 	opts := ExhaustiveOptions{LambdaMin: -1e-2, Bounds: space.UniformBounds(2, 1, 8)}
 	opts.Bounds.Enumerate(func(c space.Config) bool {
-		lam, _ := oracle.Evaluate(c)
+		lam, _ := oracle.Evaluate(bg, c)
 		if lam >= opts.LambdaMin && TotalBits(c) < res.Cost {
 			t.Errorf("found cheaper feasible %v (cost %v < %v)", c, TotalBits(c), res.Cost)
 			return false
@@ -237,7 +239,7 @@ func TestExhaustiveFindsOptimum(t *testing.T) {
 
 func TestExhaustiveNoFeasible(t *testing.T) {
 	oracle := OracleFunc(func(space.Config) (float64, error) { return -1, nil })
-	if _, err := Exhaustive(oracle, ExhaustiveOptions{
+	if _, err := Exhaustive(bg, oracle, ExhaustiveOptions{
 		LambdaMin: 0,
 		Bounds:    space.UniformBounds(2, 1, 3),
 	}); err == nil {
@@ -246,7 +248,7 @@ func TestExhaustiveNoFeasible(t *testing.T) {
 }
 
 func TestExhaustiveSpaceTooLarge(t *testing.T) {
-	if _, err := Exhaustive(additiveNoiseOracle(make([]float64, 23)), ExhaustiveOptions{
+	if _, err := Exhaustive(bg, additiveNoiseOracle(make([]float64, 23)), ExhaustiveOptions{
 		Bounds: space.UniformBounds(23, 2, 14),
 	}); err == nil {
 		t.Error("23-dimensional enumeration accepted")
@@ -256,7 +258,7 @@ func TestExhaustiveSpaceTooLarge(t *testing.T) {
 func TestExhaustiveCustomCost(t *testing.T) {
 	// With a cost that prefers variable 0 large, the optimum changes.
 	oracle := OracleFunc(func(space.Config) (float64, error) { return 1, nil })
-	res, err := Exhaustive(oracle, ExhaustiveOptions{
+	res, err := Exhaustive(bg, oracle, ExhaustiveOptions{
 		LambdaMin: 0,
 		Bounds:    space.UniformBounds(1, 1, 5),
 		Cost:      func(c space.Config) float64 { return -float64(c[0]) },
@@ -286,7 +288,7 @@ func TestPropertyMinPlusOneFeasibleAndMinimalish(t *testing.T) {
 		oracle := additiveNoiseOracle(coef)
 		lambdaMin := -math.Exp2(-2 * (4 + 6*r.Float64()))
 		opts := MinPlusOneOptions{LambdaMin: lambdaMin, Bounds: space.UniformBounds(nv, 1, 16)}
-		res, err := MinPlusOne(oracle, opts)
+		res, err := MinPlusOne(bg, oracle, opts)
 		if err != nil {
 			return errors.Is(err, ErrInfeasible)
 		}
@@ -294,7 +296,7 @@ func TestPropertyMinPlusOneFeasibleAndMinimalish(t *testing.T) {
 			return false
 		}
 		// Feasibility re-check against the oracle.
-		lam, _ := oracle.Evaluate(res.WRes)
+		lam, _ := oracle.Evaluate(bg, res.WRes)
 		return lam >= lambdaMin
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
@@ -318,7 +320,7 @@ func TestPropertyBudgetRespectsConstraint(t *testing.T) {
 			return q, nil
 		})
 		lambdaMin := 0.7 + 0.25*r.Float64()
-		res, err := NoiseBudget(oracle, NoiseBudgetOptions{
+		res, err := NoiseBudget(bg, oracle, NoiseBudgetOptions{
 			LambdaMin: lambdaMin,
 			Bounds:    space.UniformBounds(nv, 0, 12),
 		})

@@ -89,6 +89,12 @@ func NewWithOptions(metric space.Metric, opt Options) *Store {
 // Len returns the number of simulated configurations (Nsim).
 func (s *Store) Len() int { return int(s.count.Load()) }
 
+// HashConfig returns the store's key hash of a configuration — the same
+// allocation-free hashing that routes shard inserts and exact lookups.
+// The evaluator's single-flight table keys its in-flight simulations
+// with it so both layers agree on configuration identity.
+func HashConfig(c space.Config) uint64 { return hashConfig(c) }
+
 // Metric returns the store's distance metric.
 func (s *Store) Metric() space.Metric { return s.metric }
 

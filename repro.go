@@ -24,6 +24,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/evaluator"
 	"repro/internal/kriging"
@@ -95,23 +97,49 @@ func Replay(trace Trace, opts EvaluatorOptions, kind evaluator.ErrorKind) (evalu
 	return evaluator.Replay(trace, opts, kind)
 }
 
-// MinPlusOne runs the min+1 bit word-length optimisation (Algorithms 1-2)
-// against any oracle, e.g. a kriging-accelerated evaluator adapted with
-// OracleFromEvaluator.
-func MinPlusOne(oracle optim.Oracle, opts optim.MinPlusOneOptions) (optim.MinPlusOneResult, error) {
-	return optim.MinPlusOne(oracle, opts)
+// Engine is the request-oriented session API over an Evaluator: Submit /
+// Wait futures, single-flight coalescing of identical concurrent misses,
+// and bounded simulation admission (see evaluator.Engine).
+type Engine = evaluator.Engine
+
+// NewEngine builds a session engine over an evaluator; maxSims bounds
+// the simulations in flight across all sessions (0: unbounded).
+func NewEngine(ev *Evaluator, maxSims int) *Engine {
+	return ev.Engine(maxSims)
 }
 
-// NoiseBudget runs the steepest-descent error-budgeting optimisation.
+// MinPlusOne runs the min+1 bit word-length optimisation (Algorithms 1-2)
+// against any oracle, e.g. a kriging-accelerated evaluator adapted with
+// OracleFromEvaluator. It is the background-context form of
+// MinPlusOneContext.
+func MinPlusOne(oracle optim.Oracle, opts optim.MinPlusOneOptions) (optim.MinPlusOneResult, error) {
+	return optim.MinPlusOne(context.Background(), oracle, opts)
+}
+
+// MinPlusOneContext is MinPlusOne under a request context: cancelling
+// ctx aborts the optimisation (and, with a context-aware simulator, the
+// in-flight simulation) with ctx's error.
+func MinPlusOneContext(ctx context.Context, oracle optim.Oracle, opts optim.MinPlusOneOptions) (optim.MinPlusOneResult, error) {
+	return optim.MinPlusOne(ctx, oracle, opts)
+}
+
+// NoiseBudget runs the steepest-descent error-budgeting optimisation. It
+// is the background-context form of NoiseBudgetContext.
 func NoiseBudget(oracle optim.Oracle, opts optim.NoiseBudgetOptions) (optim.NoiseBudgetResult, error) {
-	return optim.NoiseBudget(oracle, opts)
+	return optim.NoiseBudget(context.Background(), oracle, opts)
+}
+
+// NoiseBudgetContext is NoiseBudget under a request context.
+func NoiseBudgetContext(ctx context.Context, oracle optim.Oracle, opts optim.NoiseBudgetOptions) (optim.NoiseBudgetResult, error) {
+	return optim.NoiseBudget(ctx, oracle, opts)
 }
 
 // OracleFromEvaluator adapts an Evaluator to the optimisers' Oracle
-// interface, discarding the provenance information.
+// interface, discarding the provenance information. Queries run under
+// the optimiser's request context.
 func OracleFromEvaluator(ev *Evaluator) optim.Oracle {
-	return optim.OracleFunc(func(cfg space.Config) (float64, error) {
-		res, err := ev.Evaluate(cfg)
+	return optim.ContextOracleFunc(func(ctx context.Context, cfg space.Config) (float64, error) {
+		res, err := ev.EvaluateContext(ctx, cfg)
 		if err != nil {
 			return 0, err
 		}
