@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/kriging"
+	"repro/internal/rng"
+	"repro/internal/variogram"
+)
+
+// BenchmarkInfillRound measures one sequential-infill round at a fixed
+// support size n: the store has grown by one freshly simulated point and
+// the min+1 competition predicts 4 sibling candidates on the n+1-point
+// support. In the "extend" arm the new point is appended after the
+// cached support (the store's natural insertion order), so the kriging
+// cache grows the factored system incrementally in O(n²); in the
+// "refactor" arm the new point leads the support, which breaks the
+// prefix match and forces the O(n³) from-scratch factorisation the
+// pre-incremental code always paid. Both arms share the cache-hit path
+// for the remaining 3 candidates.
+func BenchmarkInfillRound(b *testing.B) {
+	model := &variogram.ExponentialModel{Sill: 40, Range: 6, Nugget: 0.1}
+	const pool = 256
+	const nCands = 4
+	for _, n := range []int{50, 100, 200} {
+		r := rng.New(uint64(n) * 7)
+		seen := map[string]bool{}
+		xs := make([][]float64, 0, n+pool)
+		ys := make([]float64, 0, n+pool)
+		for len(xs) < n+pool {
+			x := make([]float64, 4)
+			key := ""
+			for i := range x {
+				x[i] = float64(r.IntRange(0, 30))
+				key += fmt.Sprintf("%v,", x[i])
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			var y float64
+			for i, v := range x {
+				y += float64(i+1) * v
+			}
+			xs = append(xs, x)
+			ys = append(ys, y+r.NormScaled(0, 0.5))
+		}
+		cands := make([][]float64, nCands)
+		for i := range cands {
+			cands[i] = []float64{r.Float64() * 30, r.Float64() * 30, r.Float64() * 30, r.Float64() * 30}
+		}
+		// Pre-build the per-round supports: base + one pool point, either
+		// appended (extendable) or leading (prefix-breaking).
+		type round struct {
+			xs [][]float64
+			ys []float64
+		}
+		appended := make([]round, pool)
+		leading := make([]round, pool)
+		for i := 0; i < pool; i++ {
+			j := n + i
+			appended[i] = round{
+				xs: append(append(make([][]float64, 0, n+1), xs[:n]...), xs[j]),
+				ys: append(append(make([]float64, 0, n+1), ys[:n]...), ys[j]),
+			}
+			leading[i] = round{
+				xs: append(append(make([][]float64, 0, n+1), xs[j]), xs[:n]...),
+				ys: append(append(make([]float64, 0, n+1), ys[j]), ys[:n]...),
+			}
+		}
+		for _, arm := range []struct {
+			name   string
+			rounds []round
+		}{{"extend", appended}, {"refactor", leading}} {
+			b.Run(fmt.Sprintf("%s/n=%d", arm.name, n), func(b *testing.B) {
+				o := &kriging.Ordinary{Model: model, CacheSize: 8}
+				// Prime the base-support factor the extend arm grows from.
+				if _, err := o.Predict(xs[:n], ys[:n], cands[0]); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rd := arm.rounds[i%pool]
+					for _, q := range cands {
+						if _, err := o.Predict(rd.xs, rd.ys, q); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		}
+	}
+}

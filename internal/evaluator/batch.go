@@ -70,7 +70,10 @@ func (e *Evaluator) EvaluateAllContext(ctx context.Context, cfgs []space.Config,
 	if len(cfgs) == 0 {
 		return results, ctx.Err()
 	}
-	snap := e.store.Snapshot()
+	// Box the snapshot into the storeView interface once: handing the
+	// struct value to answerFromStore per query would re-box (and
+	// allocate) on every call.
+	var snap storeView = e.store.Snapshot()
 	var (
 		simulated = make([]bool, len(cfgs))
 		errs      = make([]error, len(cfgs))
@@ -87,6 +90,11 @@ func (e *Evaluator) EvaluateAllContext(ctx context.Context, cfgs []space.Config,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns one query scratch for its whole run: the
+			// neighbourhood buffer and interpolation inputs are reused
+			// across every query the worker claims.
+			qs := e.scratch.Get().(*queryScratch)
+			defer e.scratch.Put(qs)
 			for {
 				// Once any query has failed — or the request is cancelled —
 				// the whole batch's results will be discarded, so stop
@@ -100,7 +108,7 @@ func (e *Evaluator) EvaluateAllContext(ctx context.Context, cfgs []space.Config,
 					return
 				}
 				cfg := cfgs[idx]
-				if res, ok := e.answerFromStore(snap, cfg, &batchStats); ok {
+				if res, ok := e.answerFromStore(snap, cfg, &batchStats, qs); ok {
 					results[idx] = res
 					continue
 				}

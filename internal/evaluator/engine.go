@@ -13,9 +13,18 @@ import (
 // err, and closes done; followers block on done and share the outcome
 // without running the simulator, consuming a worker slot, or touching
 // the activity counters.
+//
+// The steady-state miss path registers and retires a flight without a
+// single follower, so the contended pieces are lazy: the done channel is
+// created by the first follower (under the table lock), and cfg
+// REFERENCES the caller's slice rather than cloning it — safe because a
+// flight only lives while its owner is inside simulateShared, during
+// which the owner's caller must keep cfg unchanged anyway (and
+// Engine.Submit already clones for its detached goroutine).
 type flight struct {
 	cfg  space.Config
-	done chan struct{}
+	done chan struct{} // created by the first follower, under the table lock
+	next *flight       // hash-bucket chain (collisions share a bucket, never a result)
 	lam  float64
 	err  error
 	// stored reports whether the value was in the live store by the time
@@ -33,50 +42,81 @@ type flight struct {
 type inflight struct {
 	enabled bool
 	mu      sync.Mutex
-	m       map[uint64][]*flight
+	m       map[uint64]*flight
+	// pool recycles flights that resolved without ever gaining a
+	// follower — the steady-state miss pattern — so the uncontended path
+	// allocates no flight either. A flight that had followers is left to
+	// the GC: they still read its outcome after resolve.
+	pool sync.Pool
 }
 
 func newInflight(enabled bool) inflight {
-	return inflight{enabled: enabled, m: make(map[uint64][]*flight)}
+	return inflight{enabled: enabled, m: make(map[uint64]*flight)}
 }
 
 // acquire either joins the existing flight for cfg (owner=false) or
-// registers a new one (owner=true). The returned flight is never nil.
+// registers a new one (owner=true). The returned flight is never nil;
+// a follower's flight always has a non-nil done channel.
 func (t *inflight) acquire(hash uint64, cfg space.Config) (f *flight, owner bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for _, g := range t.m[hash] {
+	for g := t.m[hash]; g != nil; g = g.next {
 		if g.cfg.Equal(cfg) {
+			if g.done == nil {
+				g.done = make(chan struct{})
+			}
 			return g, false
 		}
 	}
-	f = &flight{cfg: cfg.Clone(), done: make(chan struct{})}
-	t.m[hash] = append(t.m[hash], f)
+	if recycled, ok := t.pool.Get().(*flight); ok {
+		f = recycled
+		f.lam, f.err, f.stored = 0, nil, false
+	} else {
+		f = &flight{}
+	}
+	f.cfg = cfg
+	f.next = t.m[hash]
+	t.m[hash] = f
 	return f, true
 }
 
 // resolve publishes the outcome and retires the flight: it is removed
 // from the table first, so a request arriving after the wake-up either
 // finds the store already populated (the owner inserts before resolving)
-// or starts a fresh flight.
+// or starts a fresh flight. The done channel (if any follower created
+// one) is read under the lock and closed after it, so follower wake-ups
+// are ordered after the outcome writes.
 func (t *inflight) resolve(hash uint64, f *flight, lam float64, err error) {
 	f.lam, f.err = lam, err
 	t.mu.Lock()
-	bucket := t.m[hash]
-	for i, g := range bucket {
-		if g == f {
-			bucket[i] = bucket[len(bucket)-1]
-			bucket = bucket[:len(bucket)-1]
-			break
+	prev := (*flight)(nil)
+	for g := t.m[hash]; g != nil; prev, g = g, g.next {
+		if g != f {
+			continue
 		}
+		if prev == nil {
+			if g.next == nil {
+				delete(t.m, hash)
+			} else {
+				t.m[hash] = g.next
+			}
+		} else {
+			prev.next = g.next
+		}
+		break
 	}
-	if len(bucket) == 0 {
-		delete(t.m, hash)
-	} else {
-		t.m[hash] = bucket
+	done := f.done
+	if done == nil {
+		// No follower ever saw this flight: once unlinked it is
+		// unreachable (followers only obtain flights from the chain,
+		// under this lock), so it can be recycled.
+		f.cfg, f.next = nil, nil
+		t.pool.Put(f)
 	}
 	t.mu.Unlock()
-	close(f.done)
+	if done != nil {
+		close(done)
+	}
 }
 
 // simulateShared is the simulation step shared by every request path —

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/kriging"
@@ -218,6 +219,18 @@ type Evaluator struct {
 	store   *store.Store
 	stats   counters
 	flights inflight
+	// scratch pools per-query working buffers (neighbourhood, transformed
+	// values, query coordinates): live requests borrow one per call,
+	// batch workers one per worker, so steady-state queries stay off the
+	// heap.
+	scratch sync.Pool
+}
+
+// queryScratch is the reusable working set of one evaluator query.
+type queryScratch struct {
+	nb store.Neighborhood
+	ys []float64 // transformed support values
+	x  []float64 // query point as floats
 }
 
 // New builds an Evaluator around a Simulator.
@@ -244,6 +257,7 @@ func New(sim Simulator, opts Options) (*Evaluator, error) {
 			RadiusHint: hint,
 		}),
 		flights: newInflight(!opts.DisableCoalescing),
+		scratch: sync.Pool{New: func() any { return new(queryScratch) }},
 	}, nil
 }
 
@@ -275,10 +289,12 @@ func (e *Evaluator) Nv() int { return e.sim.Nv() }
 
 // storeView is the read surface shared by the live store and its
 // snapshots; Evaluate decides against the live store, EvaluateAll against
-// a batch-entry snapshot.
+// a batch-entry snapshot. The buffer-reusing query forms keep the
+// steady-state decision path off the heap.
 type storeView interface {
 	Lookup(c space.Config) (float64, bool)
-	Neighbors(w space.Config, d float64) *store.Neighborhood
+	NeighborsInto(buf *store.Neighborhood, w space.Config, d float64) *store.Neighborhood
+	NearestKInto(buf *store.Neighborhood, w space.Config, d float64, k int) *store.Neighborhood
 }
 
 // Evaluate returns λ(cfg), interpolating when the support suffices and
@@ -307,7 +323,10 @@ func (e *Evaluator) evaluateLive(ctx context.Context, cfg space.Config, sem chan
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	if res, ok := e.answerFromStore(e.store, cfg, &e.stats); ok {
+	qs := e.scratch.Get().(*queryScratch)
+	res, ok := e.answerFromStore(e.store, cfg, &e.stats, qs)
+	e.scratch.Put(qs)
+	if ok {
 		return res, nil
 	}
 	lam, err := e.simulateShared(ctx, cfg, &e.stats, sem, true)
@@ -344,26 +363,45 @@ func isContextError(err error) bool {
 // configuration), and a sufficient neighbourhood is kriged. The second
 // return value reports whether an answer was produced. Activity is
 // recorded on stats, which Evaluate points at the live counters and
-// EvaluateAll at a per-batch accumulator committed only on success.
-func (e *Evaluator) answerFromStore(view storeView, cfg space.Config, stats *counters) (Result, bool) {
+// EvaluateAll at a per-batch accumulator committed only on success. The
+// neighbourhood search and the interpolation inputs run on qs's reused
+// buffers, so a steady-state answer performs (at most) one allocation.
+func (e *Evaluator) answerFromStore(view storeView, cfg space.Config, stats *counters, qs *queryScratch) (Result, bool) {
 	if lam, ok := view.Lookup(cfg); ok {
 		return Result{Lambda: lam, Source: Simulated}, true
 	}
 	if e.opts.D <= 0 {
 		return Result{}, false
 	}
-	nb := view.Neighbors(cfg, e.opts.D)
+	// With a support cap above the decision threshold — every practical
+	// configuration — the radius query is capped at the k nearest too:
+	// min(count, k) > NnMin decides exactly like the full count (k >
+	// NnMin), the shell-pruned search stops early on dense stores, and
+	// the resulting support is bit-identical to NearestK of the full
+	// neighbourhood. The k <= NnMin corner keeps the uncapped query so
+	// the decision still sees the true count.
+	k := e.opts.MaxSupport
+	if k <= e.opts.NnMin {
+		k = 0
+	}
+	nb := &qs.nb
+	view.NearestKInto(nb, cfg, e.opts.D, k)
 	// Adaptive neighbourhood: grow the radius in unit steps until the
 	// support suffices or DMax is reached.
 	for d := e.opts.D + 1; nb.Len() <= e.opts.NnMin && d <= e.opts.DMax; d++ {
-		nb = view.Neighbors(cfg, d)
+		view.NearestKInto(nb, cfg, d, k)
 	}
 	if nb.Len() <= e.opts.NnMin {
 		return Result{}, false
 	}
-	nb = nb.NearestK(e.opts.MaxSupport)
+	support := nb
+	if k == 0 {
+		// The rare cap-below-threshold configuration still truncates its
+		// interpolation support (allocating, as before).
+		support = nb.NearestK(e.opts.MaxSupport)
+	}
 	start := time.Now()
-	lam, err := e.interpolate(nb, cfg, stats)
+	lam, err := e.interpolate(support, cfg, stats, qs)
 	stats.interpTime.Add(int64(time.Since(start)))
 	if err != nil {
 		// A degenerate kriging system (or a variance-gate rejection)
@@ -373,20 +411,28 @@ func (e *Evaluator) answerFromStore(view storeView, cfg space.Config, stats *cou
 		return Result{}, false
 	}
 	stats.nInterp.Add(1)
-	stats.sumNeigh.Add(int64(nb.Len()))
-	return Result{Lambda: lam, Source: Interpolated, Neighbors: nb.Len()}, true
+	stats.sumNeigh.Add(int64(support.Len()))
+	return Result{Lambda: lam, Source: Interpolated, Neighbors: support.Len()}, true
 }
 
 // errVarianceGate marks a variance-gate rejection internally.
 var errVarianceGate = errors.New("evaluator: kriging variance above threshold")
 
-func (e *Evaluator) interpolate(nb *store.Neighborhood, cfg space.Config, stats *counters) (float64, error) {
+func (e *Evaluator) interpolate(nb *store.Neighborhood, cfg space.Config, stats *counters, qs *queryScratch) (float64, error) {
 	ys := nb.Values
 	if e.opts.Transform != nil {
-		ys = make([]float64, len(nb.Values))
-		for i, v := range nb.Values {
-			ys[i] = e.opts.Transform(v)
+		qs.ys = qs.ys[:0]
+		for _, v := range nb.Values {
+			qs.ys = append(qs.ys, e.opts.Transform(v))
 		}
+		ys = qs.ys
+	}
+	// The query point and (transformed) values hand reused scratch to the
+	// interpolator; the kriging system cache stores defensive copies of
+	// whatever it retains, so the buffers are free for the next query.
+	qs.x = qs.x[:0]
+	for _, v := range cfg {
+		qs.x = append(qs.x, float64(v))
 	}
 	var (
 		pred float64
@@ -394,13 +440,13 @@ func (e *Evaluator) interpolate(nb *store.Neighborhood, cfg space.Config, stats 
 	)
 	if vp, ok := e.opts.Interp.(VariancePredictor); ok && e.opts.MaxVariance > 0 {
 		var variance float64
-		pred, variance, err = vp.PredictVar(nb.Coords, ys, cfg.Floats())
+		pred, variance, err = vp.PredictVar(nb.Coords, ys, qs.x)
 		if err == nil && variance > e.opts.MaxVariance {
 			stats.nVarRejected.Add(1)
 			return 0, errVarianceGate
 		}
 	} else {
-		pred, err = e.opts.Interp.Predict(nb.Coords, ys, cfg.Floats())
+		pred, err = e.opts.Interp.Predict(nb.Coords, ys, qs.x)
 	}
 	if err != nil {
 		return 0, err

@@ -1,0 +1,113 @@
+package kriging
+
+import (
+	"testing"
+
+	"repro/internal/raceflag"
+	"repro/internal/rng"
+	"repro/internal/variogram"
+)
+
+// skipUnderRace skips allocation gates when race instrumentation (which
+// allocates on its own) is compiled in; scripts/check_allocs.sh runs
+// them without -race.
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceflag.Enabled {
+		t.Skip("allocation gates are measured without -race (see scripts/check_allocs.sh)")
+	}
+}
+
+// TestAllocsOrdinaryPredictCacheHit is the zero-allocation gate of the
+// kriging hot path: once the factored system is cached, Predict must not
+// touch the heap (pooled scratch, in-place solves).
+func TestAllocsOrdinaryPredictCacheHit(t *testing.T) {
+	skipUnderRace(t)
+	r := rng.New(21)
+	xs, ys := drawSupport(r, 20, 3)
+	o := &Ordinary{Model: &variogram.ExponentialModel{Sill: 30, Range: 6, Nugget: 0.1}}
+	q := []float64{4.5, 5.5, 6.5}
+	if _, err := o.Predict(xs, ys, q); err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		if _, err := o.Predict(xs, ys, q); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 0 {
+		t.Errorf("cache-hit Ordinary.Predict allocates %.2f per run, want 0", got)
+	}
+	// The fitted-model default must be just as clean on a hit: the model
+	// is cached inside the factored system.
+	fitted := &Ordinary{}
+	if _, err := fitted.Predict(xs, ys, q); err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		if _, err := fitted.Predict(xs, ys, q); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 0 {
+		t.Errorf("cache-hit fitted Ordinary.Predict allocates %.2f per run, want 0", got)
+	}
+}
+
+// TestAllocsSimplePredictCacheHit mirrors the gate for simple kriging's
+// Cholesky-factored covariance systems.
+func TestAllocsSimplePredictCacheHit(t *testing.T) {
+	skipUnderRace(t)
+	r := rng.New(22)
+	xs, ys := drawSupport(r, 20, 3)
+	s := &Simple{Model: &variogram.SphericalModel{Sill: 30, Range: 8, Nugget: 0.1}}
+	q := []float64{4.5, 5.5, 6.5}
+	if _, err := s.Predict(xs, ys, q); err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		if _, err := s.Predict(xs, ys, q); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 0 {
+		t.Errorf("cache-hit Simple.Predict allocates %.2f per run, want 0", got)
+	}
+}
+
+// TestAllocsBaselines pins the baseline interpolators: IDW and Nearest
+// stream over the support without materialising weight or distance
+// slices, and Capped's selection runs on pooled scratch.
+func TestAllocsBaselines(t *testing.T) {
+	skipUnderRace(t)
+	r := rng.New(23)
+	xs, ys := drawSupport(r, 30, 3)
+	q := []float64{4.25, 5.25, 6.25}
+	idw := &IDW{}
+	nn := &Nearest{}
+	capped := &Capped{Inner: nn, K: 10}
+	for name, ip := range map[string]Interpolator{"idw": idw, "nearest": nn, "capped-nearest": capped} {
+		ip := ip
+		if _, err := ip.Predict(xs, ys, q); err != nil {
+			t.Fatal(err)
+		}
+		if got := testing.AllocsPerRun(200, func() {
+			if _, err := ip.Predict(xs, ys, q); err != nil {
+				t.Fatal(err)
+			}
+		}); got > 0 {
+			t.Errorf("%s Predict allocates %.2f per run, want 0", name, got)
+		}
+	}
+}
+
+// TestAllocsLeaveOneOut pins the fold-buffer reuse: one LOOCV pass over
+// n samples allocates its two fold buffers once, not per fold.
+func TestAllocsLeaveOneOut(t *testing.T) {
+	skipUnderRace(t)
+	r := rng.New(24)
+	xs, ys := drawSupport(r, 40, 3)
+	nn := &Nearest{}
+	if got := testing.AllocsPerRun(20, func() {
+		LeaveOneOut(nn, xs, ys)
+	}); got > 2 {
+		t.Errorf("LeaveOneOut allocates %.2f per pass, want <= 2 (the reused fold buffers)", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // IDW is the inverse-distance-weighting baseline interpolator:
@@ -71,6 +72,37 @@ type Capped struct {
 // Name implements Interpolator.
 func (c *Capped) Name() string { return c.Inner.Name() + "-capped" }
 
+// cappedCand is one ranked support candidate of a Capped selection.
+type cappedCand struct {
+	d float64
+	i int
+}
+
+// cappedSorter orders candidates by (distance, original index) — the
+// same total order a stable sort by distance produces — through a
+// pointer receiver so sorting a pooled scratch never allocates.
+type cappedSorter struct{ cands []cappedCand }
+
+func (s *cappedSorter) Len() int      { return len(s.cands) }
+func (s *cappedSorter) Swap(a, b int) { s.cands[a], s.cands[b] = s.cands[b], s.cands[a] }
+func (s *cappedSorter) Less(a, b int) bool {
+	if s.cands[a].d != s.cands[b].d {
+		return s.cands[a].d < s.cands[b].d
+	}
+	return s.cands[a].i < s.cands[b].i
+}
+
+// cappedScratch holds the candidate ranking and the truncated support
+// view of one Capped prediction, pooled across calls so the selection
+// step is allocation-free on warm buffers.
+type cappedScratch struct {
+	sorter cappedSorter
+	subX   [][]float64
+	subY   []float64
+}
+
+var cappedPool = sync.Pool{New: func() any { return new(cappedScratch) }}
+
 // Predict implements Interpolator.
 func (c *Capped) Predict(xs [][]float64, ys []float64, x []float64) (float64, error) {
 	n := len(xs)
@@ -87,21 +119,28 @@ func (c *Capped) Predict(xs [][]float64, ys []float64, x []float64) (float64, er
 	if dist == nil {
 		dist = L1Distance
 	}
-	type cand struct {
-		d float64
-		i int
+	sc := cappedPool.Get().(*cappedScratch)
+	defer cappedPool.Put(sc)
+	if cap(sc.sorter.cands) < n {
+		sc.sorter.cands = make([]cappedCand, n)
 	}
-	cands := make([]cand, n)
+	sc.sorter.cands = sc.sorter.cands[:n]
 	for i := range xs {
-		cands[i] = cand{d: dist(x, xs[i]), i: i}
+		sc.sorter.cands[i] = cappedCand{d: dist(x, xs[i]), i: i}
 	}
-	sort.SliceStable(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
-	subX := make([][]float64, c.K)
-	subY := make([]float64, c.K)
+	sort.Sort(&sc.sorter)
+	if cap(sc.subX) < c.K {
+		sc.subX = make([][]float64, c.K)
+		sc.subY = make([]float64, c.K)
+	}
+	subX, subY := sc.subX[:c.K], sc.subY[:c.K]
 	for i := 0; i < c.K; i++ {
-		subX[i] = xs[cands[i].i]
-		subY[i] = ys[cands[i].i]
+		subX[i] = xs[sc.sorter.cands[i].i]
+		subY[i] = ys[sc.sorter.cands[i].i]
 	}
+	// The truncated views alias the scratch; every Interpolator in this
+	// package copies what it retains (the system cache stores defensive
+	// copies), so handing them to Inner is safe.
 	return c.Inner.Predict(subX, subY, x)
 }
 

@@ -2,10 +2,13 @@ package kriging
 
 import (
 	"container/list"
+	"errors"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/fnv1a"
+	"repro/internal/linalg"
 	"repro/internal/variogram"
 )
 
@@ -13,16 +16,44 @@ import (
 // interpolator's CacheSize field is zero.
 const DefaultCacheSize = 128
 
+// maxIncrementalAppend bounds how many trailing points a requested
+// support may add over a cached one and still take the incremental
+// extension path. Sequential infill grows the support one point per
+// round, so a small window catches the motivating workload without
+// turning every miss into a prefix search.
+const maxIncrementalAppend = 4
+
+// maxExtendChain bounds how many points a factor may accumulate through
+// incremental extensions before the next growth forces a full
+// refactorisation. Each unpivoted border adds rounding error of its own;
+// periodic refactoring keeps the drift far inside the documented 1e-9
+// equivalence tolerance.
+const maxExtendChain = 32
+
+// errNotExtendable marks a cached system the incremental path cannot
+// grow (flat or LU-fallback simple systems, over-long extension chains);
+// callers fall back to a full factorisation.
+var errNotExtendable = errors.New("kriging: cached system not extendable")
+
 // factored is a reusable kriging system: the variogram model identified
 // on a support set together with the factorisation of the assembled
 // matrix. Building one costs O(n³); reusing it answers further queries on
 // the same support in O(n²) (assemble the right-hand side, two triangular
-// solves). The min+1 competition is the motivating workload: its Nv
-// sibling candidates share one incumbent's neighbourhood, so all but the
-// first prediction hit the cache.
+// solves), and growing it by one support point costs O(n²) through the
+// linalg bordered updates instead of a refactorisation. The min+1
+// competition and sequential infill are the motivating workloads: sibling
+// candidates share one incumbent's neighbourhood, and each infill round
+// reuses the previous round's support plus the freshly simulated point.
+//
+// A factored system is immutable after construction and safe for
+// concurrent solves; extensions build a new system around a fresh factor.
 type factored struct {
 	model variogram.Model
-	solve func(b []float64) ([]float64, error)
+	// lu is the pivoted-LU factor of the ordinary-kriging saddle system
+	// (or of a simple-kriging covariance matrix that defeated Cholesky).
+	lu *linalg.LU
+	// chol is the Cholesky factor of a simple-kriging covariance system.
+	chol *linalg.Cholesky
 	// sill is the covariance ceiling of a simple-kriging system; unused
 	// (zero) for the ordinary saddle system.
 	sill float64
@@ -30,6 +61,84 @@ type factored struct {
 	// (symmetric positive definite covariance form) or fell back to LU
 	// (the indefinite ordinary-kriging saddle matrix).
 	cholesky bool
+	// n is the number of support points behind the factor; base is what
+	// it was when the factor was last built from scratch. For an extended
+	// ordinary system the appended points live after the Lagrange row in
+	// factor ordering, so solves go through a positional permutation.
+	n, base int
+	// scale is the largest off-diagonal semivariance seen at assembly,
+	// the base of the diagonal jitter; extensions keep it current so the
+	// appended diagonals use the same regularisation rule.
+	scale float64
+}
+
+// extended reports how many support points were appended since the last
+// full factorisation.
+func (sys *factored) extended() int { return sys.n - sys.base }
+
+// logicalIndex maps a factor row position to its logical saddle-system
+// index (supports 0..n-1 in insertion order, Lagrange row last). The
+// factor ordering of an extended system is
+//
+//	[x_0 .. x_{base-1}, Lagrange, x_base .. x_{n-1}]
+//
+// because borders can only be appended after the existing rows.
+func (sys *factored) logicalIndex(pos int) int {
+	switch {
+	case pos < sys.base:
+		return pos
+	case pos == sys.base:
+		return sys.n // Lagrange row
+	default:
+		return pos - 1
+	}
+}
+
+// solveInto solves the factored system for rhs (in logical order) into
+// dst, using s for permutation scratch when the factor was grown
+// incrementally. dst must not alias rhs.
+func (sys *factored) solveInto(dst, rhs []float64, s *predictScratch) error {
+	if sys.chol != nil {
+		return sys.chol.SolveInto(dst, rhs)
+	}
+	if sys.lu == nil {
+		return errNotExtendable
+	}
+	if sys.extended() == 0 {
+		return sys.lu.SolveInto(dst, rhs)
+	}
+	m := len(rhs)
+	pb := growFloats(&s.pb, m)
+	for pos := 0; pos < m; pos++ {
+		pb[pos] = rhs[sys.logicalIndex(pos)]
+	}
+	sol := growFloats(&s.sol, m)
+	if err := sys.lu.SolveInto(sol, pb); err != nil {
+		return err
+	}
+	for pos := 0; pos < m; pos++ {
+		dst[sys.logicalIndex(pos)] = sol[pos]
+	}
+	return nil
+}
+
+// predictScratch is the per-goroutine buffer set of one prediction:
+// right-hand side, solved weights, and the permutation scratch of
+// extended factors. Pooled so a cache-hit prediction performs zero heap
+// allocations.
+type predictScratch struct {
+	rhs, w, pb, sol []float64
+}
+
+var predictPool = sync.Pool{New: func() any { return new(predictScratch) }}
+
+// growFloats resizes *buf to n elements, reallocating only on growth.
+func growFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 // cacheRecord is one LRU slot: the fingerprint key plus defensive copies
@@ -49,6 +158,9 @@ type systemCache struct {
 	cap   int
 	items map[uint64]*list.Element
 	order *list.List // front = most recently used
+	// incrementalHits counts factor extensions served instead of full
+	// refactorisations — observability for tests and stats.
+	incrementalHits atomic.Int64
 }
 
 func newSystemCache(capacity int) *systemCache {
@@ -75,6 +187,30 @@ func (c *systemCache) get(key uint64, xs [][]float64, ys []float64) (*factored, 
 	}
 	c.order.MoveToFront(el)
 	return rec.sys, true
+}
+
+// getPrefix looks for a cached system whose support is a strict prefix
+// of (xs, ys) missing at most maxAppend trailing points — the sequential
+// infill shape, where each round's support is the previous round's plus
+// the freshly simulated configurations. It returns the cached system and
+// the prefix length. Only called on an exact-fingerprint miss.
+func (c *systemCache) getPrefix(xs [][]float64, ys []float64, maxAppend int) (*factored, int, bool) {
+	n := len(xs)
+	for m := n - 1; m >= n-maxAppend && m >= 2; m-- {
+		key := supportFingerprint(xs[:m], ys[:m])
+		c.mu.Lock()
+		if el, ok := c.items[key]; ok {
+			rec := el.Value.(*cacheRecord)
+			if supportEqual(rec.xs, rec.ys, xs[:m], ys[:m]) {
+				sys := rec.sys
+				c.order.MoveToFront(el)
+				c.mu.Unlock()
+				return sys, m, true
+			}
+		}
+		c.mu.Unlock()
+	}
+	return nil, 0, false
 }
 
 // add inserts a freshly factored system, evicting the least recently used

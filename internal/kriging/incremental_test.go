@@ -1,0 +1,228 @@
+package kriging
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/variogram"
+)
+
+// incrementalModels are the fixed variogram models the incremental
+// factor-update property tests sweep. Extension requires a fixed model
+// (a per-support refit invalidates every matrix entry), and the simple
+// kriging path additionally requires a bounded plateau; all three
+// bounded families qualify for both interpolators.
+func incrementalModels() map[string]variogram.Model {
+	return map[string]variogram.Model{
+		"spherical":   &variogram.SphericalModel{Sill: 30, Range: 8, Nugget: 0.1},
+		"exponential": &variogram.ExponentialModel{Sill: 25, Range: 5, Nugget: 0.05},
+		"gaussian":    &variogram.GaussianModel{Sill: 20, Range: 6, Nugget: 0.2},
+	}
+}
+
+// drawSupport builds n distinct lattice-ish support points with a smooth
+// field plus noise — the word-length optimisation shape.
+func drawSupport(r *rng.Stream, n, dim int) ([][]float64, []float64) {
+	seen := map[string]bool{}
+	xs := make([][]float64, 0, n)
+	ys := make([]float64, 0, n)
+	for len(xs) < n {
+		x := make([]float64, dim)
+		key := ""
+		for i := range x {
+			x[i] = float64(r.IntRange(0, 14))
+			key += fmt.Sprintf("%v,", x[i])
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		var y float64
+		for i, v := range x {
+			y += float64(i+1) * v
+		}
+		xs = append(xs, x)
+		ys = append(ys, y+r.NormScaled(0, 0.5))
+	}
+	return xs, ys
+}
+
+// relClose reports |a-b| within tol relative to the value magnitude.
+func relClose(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// TestIncrementalOrdinaryMatchesFull is the acceptance property test of
+// the incremental saddle-factor path: across 100 seeded supports and all
+// three bounded variogram models, a prediction served by an
+// AppendRow/Extend-grown factor must match a from-scratch factorisation
+// to 1e-9, and the incremental path must actually have been taken.
+func TestIncrementalOrdinaryMatchesFull(t *testing.T) {
+	const trials = 100
+	for name, model := range incrementalModels() {
+		t.Run(name, func(t *testing.T) {
+			r := rng.NewNamed(3, name)
+			hits := 0
+			for trial := 0; trial < trials; trial++ {
+				n := 6 + r.Intn(18)
+				grow := 1 + r.Intn(maxIncrementalAppend)
+				dim := 2 + r.Intn(3)
+				xs, ys := drawSupport(r, n+grow, dim)
+				inc := &Ordinary{Model: model}
+				full := &Ordinary{Model: model, CacheSize: -1}
+				q := make([]float64, dim)
+				for i := range q {
+					q[i] = r.Float64() * 14
+				}
+				// Prime the cache with the base support, then query the
+				// grown support: the second call must extend, not refactor.
+				if _, err := inc.Predict(xs[:n], ys[:n], q); err != nil {
+					t.Fatalf("trial %d: base predict: %v", trial, err)
+				}
+				got, gotVar, err := inc.PredictVar(xs, ys, q)
+				if err != nil {
+					t.Fatalf("trial %d: incremental predict: %v", trial, err)
+				}
+				want, wantVar, err := full.PredictVar(xs, ys, q)
+				if err != nil {
+					t.Fatalf("trial %d: full predict: %v", trial, err)
+				}
+				if !relClose(got, want, 1e-9) || !relClose(gotVar, wantVar, 1e-9) {
+					t.Fatalf("trial %d (n=%d +%d): incremental (%v, %v) vs full (%v, %v)",
+						trial, n, grow, got, gotVar, want, wantVar)
+				}
+				hits += int(inc.cache.incrementalHits.Load())
+			}
+			if hits < trials/2 {
+				t.Fatalf("only %d/%d trials took the incremental path", hits, trials)
+			}
+		})
+	}
+}
+
+// TestIncrementalSimpleMatchesFull is the simple-kriging twin: the
+// covariance borders of a bounded fixed model are exactly the rows a
+// from-scratch assembly produces, so Cholesky rank-1 growth must agree
+// with refactorisation to 1e-9.
+func TestIncrementalSimpleMatchesFull(t *testing.T) {
+	const trials = 100
+	for name, model := range incrementalModels() {
+		t.Run(name, func(t *testing.T) {
+			r := rng.NewNamed(5, name)
+			hits := 0
+			for trial := 0; trial < trials; trial++ {
+				n := 6 + r.Intn(18)
+				grow := 1 + r.Intn(maxIncrementalAppend)
+				dim := 2 + r.Intn(3)
+				xs, ys := drawSupport(r, n+grow, dim)
+				inc := &Simple{Model: model}
+				full := &Simple{Model: model, CacheSize: -1}
+				q := make([]float64, dim)
+				for i := range q {
+					q[i] = r.Float64() * 14
+				}
+				if _, err := inc.Predict(xs[:n], ys[:n], q); err != nil {
+					t.Fatalf("trial %d: base predict: %v", trial, err)
+				}
+				got, err := inc.Predict(xs, ys, q)
+				if err != nil {
+					t.Fatalf("trial %d: incremental predict: %v", trial, err)
+				}
+				want, err := full.Predict(xs, ys, q)
+				if err != nil {
+					t.Fatalf("trial %d: full predict: %v", trial, err)
+				}
+				if !relClose(got, want, 1e-9) {
+					t.Fatalf("trial %d (n=%d +%d): incremental %v vs full %v", trial, n, grow, got, want)
+				}
+				hits += int(inc.cache.incrementalHits.Load())
+			}
+			if hits < trials/2 {
+				t.Fatalf("only %d/%d trials took the incremental path", hits, trials)
+			}
+		})
+	}
+}
+
+// TestIncrementalGrowthChain walks a long sequential-infill chain — one
+// appended point per round, every round predicted — and checks both the
+// 1e-9 agreement at every step and that the chain cap forces periodic
+// full refactorisations rather than unbounded extension drift.
+func TestIncrementalGrowthChain(t *testing.T) {
+	model := &variogram.ExponentialModel{Sill: 30, Range: 6, Nugget: 0.1}
+	r := rng.New(11)
+	const rounds = 48
+	xs, ys := drawSupport(r, 4+rounds, 3)
+	inc := &Ordinary{Model: model}
+	full := &Ordinary{Model: model, CacheSize: -1}
+	q := []float64{5.5, 6.5, 7.5}
+	for n := 4; n <= 4+rounds; n++ {
+		got, err := inc.Predict(xs[:n], ys[:n], q)
+		if err != nil {
+			t.Fatalf("n=%d: incremental: %v", n, err)
+		}
+		want, err := full.Predict(xs[:n], ys[:n], q)
+		if err != nil {
+			t.Fatalf("n=%d: full: %v", n, err)
+		}
+		if !relClose(got, want, 1e-9) {
+			t.Fatalf("n=%d: incremental %v vs full %v (diff %g)", n, got, want, got-want)
+		}
+	}
+	hits := int(inc.cache.incrementalHits.Load())
+	if hits < rounds-rounds/maxExtendChain-2 {
+		t.Errorf("incremental hits = %d across %d growth rounds", hits, rounds)
+	}
+	if hits >= rounds {
+		t.Errorf("chain cap never forced a refactorisation (%d hits)", hits)
+	}
+}
+
+// TestIncrementalRequiresFixedModel pins the gate: a per-support fitted
+// model must never take the extension path (the refit changes every
+// matrix entry, so extending would silently use stale semivariances).
+func TestIncrementalRequiresFixedModel(t *testing.T) {
+	r := rng.New(13)
+	xs, ys := drawSupport(r, 12, 3)
+	o := &Ordinary{} // Model nil: fitted per support
+	q := []float64{4.5, 5.5, 3.5}
+	if _, err := o.Predict(xs[:10], ys[:10], q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Predict(xs, ys, q); err != nil {
+		t.Fatal(err)
+	}
+	if hits := o.cache.incrementalHits.Load(); hits != 0 {
+		t.Fatalf("fitted-model interpolator took %d incremental hits", hits)
+	}
+}
+
+// TestIncrementalUnboundedSimpleRefactors pins the simple-kriging gate:
+// an unbounded model's sill depends on the support separations, so
+// growth must refactorise.
+func TestIncrementalUnboundedSimpleRefactors(t *testing.T) {
+	r := rng.New(17)
+	xs, ys := drawSupport(r, 12, 3)
+	s := &Simple{Model: &variogram.PowerModel{Alpha: 1, Beta: 1.5}}
+	sf := &Simple{Model: &variogram.PowerModel{Alpha: 1, Beta: 1.5}, CacheSize: -1}
+	q := []float64{4.5, 5.5, 3.5}
+	if _, err := s.Predict(xs[:10], ys[:10], q); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Predict(xs, ys, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := s.cache.incrementalHits.Load(); hits != 0 {
+		t.Fatalf("unbounded-model interpolator took %d incremental hits", hits)
+	}
+	want, err := sf.Predict(xs, ys, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("refactor path diverged from uncached: %v vs %v", got, want)
+	}
+}

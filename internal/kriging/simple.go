@@ -89,7 +89,9 @@ func (s *Simple) Predict(xs [][]float64, ys []float64, x []float64) (float64, er
 		return mean, nil
 	}
 	dist := s.dist()
-	rhs := make([]float64, n)
+	sc := predictPool.Get().(*predictScratch)
+	defer predictPool.Put(sc)
+	rhs := growFloats(&sc.rhs, n)
 	for k := 0; k < n; k++ {
 		// Clamp: a query farther out than every support separation would
 		// otherwise produce a negative covariance under the truncated
@@ -100,8 +102,8 @@ func (s *Simple) Predict(xs [][]float64, ys []float64, x []float64) (float64, er
 		}
 		rhs[k] = cv
 	}
-	w, err := sys.solve(rhs)
-	if err != nil {
+	w := growFloats(&sc.w, n)
+	if err := sys.solveInto(w, rhs, sc); err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrDegenerate, err)
 	}
 	val := mean
@@ -116,7 +118,16 @@ func (s *Simple) Predict(xs [][]float64, ys []float64, x []float64) (float64, er
 
 // system returns the factored covariance system C = sill - Γ for a
 // support set, reusing a cached Cholesky (or fallback LU) factorisation
-// when the same support was seen recently.
+// when the same support was seen recently. With a fixed bounded Model —
+// whose plateau sill does not depend on the support — a requested
+// support that extends a cached one by a few trailing points grows the
+// cached Cholesky factor via rank-1 updates in O(n²) per point instead
+// of refactorising; the assembled borders are exactly the rows a
+// from-scratch build would produce, so only factorisation rounding
+// differs (inside the 1e-9 tolerance, see
+// TestIncrementalSimpleMatchesFull). Unbounded models take the sill from
+// the support separations, which appending changes, so they always
+// refactorise.
 func (s *Simple) system(xs [][]float64, ys []float64) (*factored, error) {
 	cache := resolveCache(&s.cacheOnce, &s.cache, s.CacheSize)
 	var key uint64
@@ -124,6 +135,17 @@ func (s *Simple) system(xs [][]float64, ys []float64) (*factored, error) {
 		key = supportFingerprint(xs, ys)
 		if sys, ok := cache.get(key, xs, ys); ok {
 			return sys, nil
+		}
+		if s.Model != nil {
+			if _, bounded := modelPlateau(s.Model); bounded {
+				if base, m, ok := cache.getPrefix(xs, ys, maxIncrementalAppend); ok {
+					if sys, err := s.extendSystem(base, xs, m); err == nil {
+						cache.incrementalHits.Add(1)
+						cache.add(key, xs, ys, sys)
+						return sys, nil
+					}
+				}
+			}
 		}
 	}
 	dist := s.dist()
@@ -152,7 +174,7 @@ func (s *Simple) system(xs [][]float64, ys []float64) (*factored, error) {
 			}
 		}
 	}
-	sys := &factored{model: model, sill: sill}
+	sys := &factored{model: model, sill: sill, n: n, base: n}
 	if sill == 0 {
 		// Flat field; Predict answers with the mean without solving.
 		if cache != nil {
@@ -174,19 +196,48 @@ func (s *Simple) system(xs [][]float64, ys []float64) (*factored, error) {
 	// positive definiteness, in which case pivoted LU still solves the
 	// (symmetric indefinite) system.
 	if chol, err := linalg.FactorizeCholesky(c); err == nil {
-		sys.solve = chol.Solve
+		sys.chol = chol
 		sys.cholesky = true
 	} else {
 		f, err := linalg.Factorize(c)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrDegenerate, err)
 		}
-		sys.solve = f.Solve
+		sys.lu = f
 	}
 	if cache != nil {
 		cache.add(key, xs, ys, sys)
 	}
 	return sys, nil
+}
+
+// extendSystem grows the cached covariance factor of xs[:m] to cover all
+// of xs by appending one covariance border per new support point through
+// Cholesky rank-1 updates. Only Cholesky-factored systems extend (the LU
+// fallback marks a support that already defeated positive definiteness,
+// and flat systems have no factor); a border that fails the linalg
+// health check abandons the extension.
+func (s *Simple) extendSystem(base *factored, xs [][]float64, m int) (*factored, error) {
+	n := len(xs)
+	if base.chol == nil || base.extended()+(n-m) > maxExtendChain {
+		return nil, errNotExtendable
+	}
+	dist := s.dist()
+	sill := base.sill
+	chol := base.chol
+	for j := m; j < n; j++ {
+		row := make([]float64, j)
+		for k := 0; k < j; k++ {
+			row[k] = sill - base.model.Gamma(dist(xs[j], xs[k]))
+		}
+		diag := sill - base.model.Gamma(0) + 1e-12*sill + s.Nugget
+		next, err := chol.AppendRow(row, diag)
+		if err != nil {
+			return nil, err
+		}
+		chol = next
+	}
+	return &factored{model: base.model, sill: sill, cholesky: true, chol: chol, n: n, base: base.base}, nil
 }
 
 // modelPlateau returns the total plateau (sill + nugget) of a bounded

@@ -42,29 +42,145 @@ func FactorizeCholesky(a *Matrix) (*Cholesky, error) {
 
 // Solve solves A·x = b given the factorisation.
 func (c *Cholesky) Solve(b []float64) ([]float64, error) {
-	if len(b) != c.n {
-		return nil, fmt.Errorf("%w: rhs length %d, want %d", ErrShape, len(b), c.n)
-	}
-	n := c.n
-	// Forward: L·y = b.
-	y := make([]float64, n)
-	for i := 0; i < n; i++ {
-		s := b[i]
-		for k := 0; k < i; k++ {
-			s -= c.l.At(i, k) * y[k]
-		}
-		y[i] = s / c.l.At(i, i)
-	}
-	// Backward: Lᵀ·x = y.
-	x := make([]float64, n)
-	for i := n - 1; i >= 0; i-- {
-		s := y[i]
-		for k := i + 1; k < n; k++ {
-			s -= c.l.At(k, i) * x[k]
-		}
-		x[i] = s / c.l.At(i, i)
+	x := make([]float64, c.n)
+	if err := c.SolveInto(x, b); err != nil {
+		return nil, err
 	}
 	return x, nil
+}
+
+// SolveInto solves A·x = b into dst, allocation-free. dst may alias b
+// (the forward sweep reads b[i] exactly once, before writing dst[i]);
+// partial overlap of distinct slices is not supported.
+func (c *Cholesky) SolveInto(dst, b []float64) error {
+	if len(b) != c.n || len(dst) != c.n {
+		return fmt.Errorf("%w: rhs length %d, dst length %d, want %d", ErrShape, len(b), len(dst), c.n)
+	}
+	n := c.n
+	// Forward: L·y = b, y landing in dst.
+	for i := 0; i < n; i++ {
+		row := c.l.Data[i*n : i*n+i+1]
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= row[k] * dst[k]
+		}
+		dst[i] = s / row[i]
+	}
+	// Backward: Lᵀ·x = y, in place.
+	for i := n - 1; i >= 0; i-- {
+		s := dst[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.l.Data[k*n+i] * dst[k]
+		}
+		dst[i] = s / c.l.Data[i*n+i]
+	}
+	return nil
+}
+
+// Size returns the dimension of the factored matrix.
+func (c *Cholesky) Size() int { return c.n }
+
+// cholAppendTol is the health threshold of AppendRow: the squared new
+// diagonal pivot must retain at least this fraction of the magnitudes it
+// was computed from, or the update is rejected as numerically unsafe
+// (catastrophic cancellation would poison every later solve). Callers
+// fall back to a full refactorisation on rejection.
+const cholAppendTol = 1e-8
+
+// AppendRow extends the factorisation of the n×n matrix A to the
+// bordered (n+1)×(n+1) matrix
+//
+//	A' = ⎡A     row⎤
+//	     ⎣rowᵀ diag⎦
+//
+// in O(n²): one triangular solve for the new off-diagonal row of L plus
+// a square root for the new diagonal. The receiver is not modified; the
+// returned factor shares no state with it, so cached factors can keep
+// serving concurrent solves while extensions are built.
+//
+// It returns ErrSingular when A' is not (safely) positive definite —
+// the new diagonal pivot is non-positive or has lost nearly all its
+// precision to cancellation — in which case the caller should
+// refactorise from scratch.
+func (c *Cholesky) AppendRow(row []float64, diag float64) (*Cholesky, error) {
+	if len(row) != c.n {
+		return nil, fmt.Errorf("%w: appended row length %d, want %d", ErrShape, len(row), c.n)
+	}
+	n := c.n
+	m := n + 1
+	l := NewMatrix(m, m)
+	for i := 0; i < n; i++ {
+		copy(l.Data[i*m:i*m+i+1], c.l.Data[i*n:i*n+i+1])
+	}
+	// New off-diagonal row v: L·v = row (forward substitution), read from
+	// the old factor, written into the new last row.
+	last := l.Data[n*m : n*m+m]
+	var sq float64
+	for i := 0; i < n; i++ {
+		ri := c.l.Data[i*n : i*n+i+1]
+		s := row[i]
+		for k := 0; k < i; k++ {
+			s -= ri[k] * last[k]
+		}
+		v := s / ri[i]
+		last[i] = v
+		sq += v * v
+	}
+	// New diagonal: l² = diag - v·v, guarded against cancellation.
+	d2 := diag - sq
+	if d2 <= 0 || d2 < cholAppendTol*(math.Abs(diag)+sq) {
+		return nil, fmt.Errorf("%w: appended diagonal pivot %g below health threshold", ErrSingular, d2)
+	}
+	last[n] = math.Sqrt(d2)
+	return &Cholesky{l: l, n: m}, nil
+}
+
+// DropRow removes row/column i from the factored matrix, returning the
+// factorisation of the (n-1)×(n-1) principal submatrix in O(n²): the
+// rows below i keep their leading columns, and the trailing block is
+// repaired by a Givens-style rank-1 update with the deleted column. The
+// receiver is not modified. Dropping from a positive definite matrix
+// always yields a positive definite submatrix, so — unlike AppendRow —
+// the update cannot fail for healthy inputs.
+func (c *Cholesky) DropRow(i int) (*Cholesky, error) {
+	n := c.n
+	if i < 0 || i >= n {
+		return nil, fmt.Errorf("%w: drop row %d of %d", ErrShape, i, n)
+	}
+	m := n - 1
+	l := NewMatrix(m, m)
+	for r := 0; r < i; r++ {
+		copy(l.Data[r*m:r*m+r+1], c.l.Data[r*n:r*n+r+1])
+	}
+	// Rows below the deleted one shift up; their column i entries form
+	// the update vector u with S·Sᵀ + u·uᵀ the trailing block of A'.
+	u := make([]float64, n-1-i)
+	for r := i + 1; r < n; r++ {
+		nr := r - 1
+		copy(l.Data[nr*m:nr*m+i], c.l.Data[r*n:r*n+i])
+		u[r-i-1] = c.l.Data[r*n+i]
+		for j := i + 1; j <= r; j++ {
+			l.Data[nr*m+j-1] = c.l.Data[r*n+j]
+		}
+	}
+	// Rank-1 update of the trailing block with u (the classical positive
+	// cholupdate sweep — unconditionally stable).
+	t := len(u)
+	for k := 0; k < t; k++ {
+		dk := l.Data[(i+k)*m+i+k]
+		r := math.Hypot(dk, u[k])
+		if r == 0 {
+			return nil, fmt.Errorf("%w: zero diagonal while restoring dropped row", ErrSingular)
+		}
+		cth, sth := r/dk, u[k]/dk
+		l.Data[(i+k)*m+i+k] = r
+		for j := k + 1; j < t; j++ {
+			v := (l.Data[(i+j)*m+i+k] + sth*u[j]) / cth
+			u[j] = cth*u[j] - sth*v
+			l.Data[(i+j)*m+i+k] = v
+		}
+	}
+	return &Cholesky{l: l, n: m}, nil
 }
 
 // L returns a copy of the lower-triangular factor.

@@ -1,0 +1,46 @@
+// Package linalg implements the small dense linear-algebra kernel needed
+// by the kriging solver: matrices, vectors, LU decomposition with partial
+// pivoting, Cholesky decomposition and triangular solves.
+//
+// The kriging systems in this reproduction are tiny to moderate (a
+// handful to a few hundred support points plus one Lagrange row), so the
+// implementation favours clarity and numerical robustness over blocking
+// or SIMD. Everything is written against the standard library only.
+//
+// # Factorisations
+//
+// [Factorize] produces a pivoted LU factor for general square systems —
+// the symmetric indefinite saddle matrix of ordinary kriging (Eq. 9)
+// takes this path. [FactorizeCholesky] covers symmetric positive
+// definite systems — the covariance form of simple kriging.
+//
+// # Incremental updates
+//
+// Sequential infill grows a kriging support one point per round, so both
+// factor types support growing (and, for Cholesky, shrinking) an
+// existing factorisation in O(n²) instead of refactorising in O(n³):
+//
+//   - [Cholesky.AppendRow] extends A = L·Lᵀ to the bordered matrix with
+//     one new symmetric row/column.
+//   - [Cholesky.DropRow] removes one row/column via Givens-style rank-1
+//     restoration.
+//   - [LU.Extend] extends P·A = L·U to the bordered matrix, freezing the
+//     pivot order of the existing rows and placing the new row last.
+//
+// Updates never mutate the receiver — they return a fresh factor, so a
+// factor shared by concurrent readers (the kriging system cache) stays
+// valid. Both growth updates apply a pivot/diagonal health check and
+// return [ErrSingular] when the new pivot is negligible against the
+// factor scale; callers are expected to fall back to a full
+// refactorisation in that case. Within that health margin an updated
+// factor solves the same system as a from-scratch factorisation to well
+// under 1e-9 relative error (asserted by the kriging property tests).
+//
+// # Scratch discipline
+//
+// The Solve methods allocate their result; the SolveInto variants write
+// into a caller-provided destination so repeated solves against one
+// factor (the kriging prediction hot path) can reuse scratch buffers and
+// stay allocation-free. [Cholesky.SolveInto] tolerates dst aliasing b;
+// [LU.SolveInto] does not (the row permutation scatters b into dst).
+package linalg

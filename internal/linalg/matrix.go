@@ -1,11 +1,3 @@
-// Package linalg implements the small dense linear-algebra kernel needed
-// by the kriging solver: matrices, vectors, LU decomposition with partial
-// pivoting, Cholesky decomposition and triangular solves.
-//
-// The kriging systems in this reproduction are tiny (a handful of support
-// points plus one Lagrange row), so the implementation favours clarity
-// and numerical robustness over blocking or SIMD. Everything is written
-// against the standard library only.
 package linalg
 
 import (

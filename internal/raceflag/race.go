@@ -1,0 +1,11 @@
+//go:build race
+
+// Package raceflag reports whether the race detector is compiled in.
+// The AllocsPerRun gate tests skip themselves under -race: race
+// instrumentation adds bookkeeping allocations that would fail the
+// zero-allocation contracts the gates protect, which are enforced by the
+// non-race scripts/check_allocs.sh CI step instead.
+package raceflag
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

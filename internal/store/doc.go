@@ -53,6 +53,15 @@
 // linear scan; IndexLinear disables bucketing entirely; IndexLattice
 // forces the indexed paths.
 //
+// NearestK(w, d, k) answers the capped-support query without
+// materialising the full radius neighbourhood: the lattice path expands
+// candidate cells shell by shell and stops once the k-th best distance
+// bounds everything farther out, with results exactly equal to
+// Neighbors(w, d).NearestK(k). The *Into variants (NeighborsInto,
+// NearestKInto) refill a caller-owned Neighborhood buffer — result
+// slices and collection scratch included — so warm steady-state queries
+// allocate nothing; the plain forms are thin allocating wrappers.
+//
 // Snapshot freezes the current contents in O(shards): the batch
 // evaluator uses it to make all interpolation decisions of one batch
 // against the store as it stood on entry, regardless of concurrent

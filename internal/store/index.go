@@ -151,7 +151,16 @@ func (t *table) overloaded(occupied int) bool {
 // regrow reinserts every slot into a table twice the size. Older views
 // keep the previous table untouched.
 func (t *table) regrow(hashOf func(*shardEntry) uint64) *table {
-	nt := newTable(int(t.mask+1) * 2)
+	return t.regrowTo(int(t.mask+1)*2, hashOf)
+}
+
+// regrowTo is regrow to an explicit power-of-two size (at least double),
+// the bulk path's way of sizing one regrow for a whole batch.
+func (t *table) regrowTo(size int, hashOf func(*shardEntry) uint64) *table {
+	if min := int(t.mask+1) * 2; size < min {
+		size = min
+	}
+	nt := newTable(size)
 	for i := range t.slots {
 		e := t.slots[i].Load()
 		if e == nil {
@@ -166,6 +175,16 @@ func (t *table) regrow(hashOf func(*shardEntry) uint64) *table {
 		}
 	}
 	return nt
+}
+
+// tableSizeFor returns the smallest power-of-two slot count that keeps n
+// occupied entries under the 2/3 load cap.
+func tableSizeFor(n int) int {
+	size := minTableSize
+	for uint64(n)*3 > uint64(size)*2 {
+		size *= 2
+	}
+	return size
 }
 
 // findConfig returns the newest version of cfg, or nil.
@@ -225,12 +244,6 @@ func floorDiv(a, c int) int {
 		q--
 	}
 	return q
-}
-
-// cellOf maps a configuration to freshly allocated lattice cell
-// coordinates.
-func cellOf(c space.Config, cell int) []int {
-	return cellOfInto(nil, c, cell)
 }
 
 // cellOfInto maps a configuration to its lattice cell coordinates,
@@ -344,26 +357,25 @@ func useIndex(states []*shardState, metric space.Metric, ic indexConfig, d float
 	return total >= ic.minIndexed
 }
 
-// neighborsIndexed answers a radius query from the lattice cells. Two
-// strategies cover the dimensionality spectrum: enumerating the candidate
-// ring of cells around the query (cheap in low dimension, where the ring
-// is small) and sweeping the occupied cells with cell-level distance
-// pruning (the ring grows as (2r+1)^Nv, so past the occupancy count the
-// sweep is strictly cheaper). Both verify the exact metric distance of
-// every candidate entry, so results are identical to the linear scan.
-func neighborsIndexed(states []*shardState, metric space.Metric, ic indexConfig, w space.Config, d float64) *Neighborhood {
+// neighborsIndexed answers a radius query from the lattice cells into
+// the caller's buffer. Two strategies cover the dimensionality spectrum:
+// enumerating the candidate ring of cells around the query (cheap in low
+// dimension, where the ring is small) and sweeping the occupied cells
+// with cell-level distance pruning (the ring grows as (2r+1)^Nv, so past
+// the occupancy count the sweep is strictly cheaper). Both verify the
+// exact metric distance of every candidate entry, so results are
+// identical to the linear scan.
+func neighborsIndexed(buf *Neighborhood, states []*shardState, metric space.Metric, ic indexConfig, w space.Config, d float64) {
 	occupied := 0
 	for _, st := range states {
 		occupied += st.nCells
 	}
 	r := int(math.Ceil(d / float64(ic.cell)))
-	var hits []hit
 	if ringCells := ringSize(len(w), r, occupied); ringCells <= occupied {
-		hits = collectRing(states, metric, ic, w, d, r)
+		collectRing(buf, states, metric, ic, w, d, r)
 	} else {
-		hits = collectSweep(states, metric, ic, w, d)
+		collectSweep(buf, states, metric, ic, w, d)
 	}
-	return finishHits(hits)
 }
 
 // ringSize returns min((2r+1)^Nv, limit+1): the +1 sentinel marks
@@ -384,18 +396,20 @@ func ringSize(nv, r, limit int) int {
 // each axis (an odometer over the (2r+1)^Nv box), prunes cells whose
 // minimum distance already exceeds d, and probes surviving cells in every
 // shard state. The cell hash is computed once and shared across shards.
-func collectRing(states []*shardState, metric space.Metric, ic indexConfig, w space.Config, d float64, r int) []hit {
-	qc := cellOf(w, ic.cell)
-	nv := len(qc)
-	off := make([]int, nv) // odometer digits in [-r, r]
+// The odometer cursor and candidate-cell coordinates live in the buffer's
+// scratch, reused across queries.
+func collectRing(buf *Neighborhood, states []*shardState, metric space.Metric, ic indexConfig, w space.Config, d float64, r int) {
+	q := &buf.q
+	q.qc = cellOfInto(q.qc, w, ic.cell)
+	nv := len(q.qc)
+	off := growInts(&q.off, nv) // odometer digits in [-r, r]
 	for i := range off {
 		off[i] = -r
 	}
-	cc := make([]int, nv)
-	var hits []hit
+	cc := growInts(&q.cc, nv)
 	for {
 		for i, o := range off {
-			cc[i] = qc[i] + o
+			cc[i] = q.qc[i] + o
 		}
 		if cellMinDist(metric, w, cc, ic.cell) <= d {
 			h := hashCellCoords(cc)
@@ -404,7 +418,7 @@ func collectRing(states []*shardState, metric space.Metric, ic indexConfig, w sp
 					continue
 				}
 				if head := st.cells.findCell(h, cc, ic.cell); head != nil {
-					hits = appendChainHits(hits, st, head, metric, w, d)
+					appendChainHits(q, st, head, metric, w, d)
 				}
 			}
 		}
@@ -418,18 +432,18 @@ func collectRing(states []*shardState, metric space.Metric, ic indexConfig, w sp
 			off[i] = -r
 		}
 		if i == nv {
-			return hits
+			return
 		}
 	}
 }
 
 // collectSweep walks every occupied cell of every shard state and prunes
 // whole cells by their minimum distance to the query. Slot order is
-// arbitrary, which is fine: finishHits restores the global insertion
-// order from the per-entry sequence numbers.
-func collectSweep(states []*shardState, metric space.Metric, ic indexConfig, w space.Config, d float64) []hit {
-	var hits []hit
-	var cc []int
+// arbitrary, which is fine: the final sequence sort restores the global
+// insertion order from the per-entry sequence numbers.
+func collectSweep(buf *Neighborhood, states []*shardState, metric space.Metric, ic indexConfig, w space.Config, d float64) {
+	q := &buf.q
+	cc := q.cc
 	for _, st := range states {
 		if st.cells == nil {
 			continue
@@ -443,42 +457,273 @@ func collectSweep(states []*shardState, metric space.Metric, ic indexConfig, w s
 			if cellMinDist(metric, w, cc, ic.cell) > d {
 				continue
 			}
-			hits = appendChainHits(hits, st, head, metric, w, d)
+			appendChainHits(q, st, head, metric, w, d)
 		}
 	}
-	return hits
+	q.cc = cc
+}
+
+// growInts resizes *buf to n elements, reallocating only on growth.
+func growInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 // appendChainHits walks one cell's chain from its head, skipping entries
 // beyond the view and superseded versions, and exact-checks the rest
 // against the query.
-func appendChainHits(hits []hit, st *shardState, head *shardEntry, metric space.Metric, w space.Config, d float64) []hit {
+func appendChainHits(q *queryScratch, st *shardState, head *shardEntry, metric space.Metric, w space.Config, d float64) {
 	n := len(st.entries)
 	for e := head; e != nil; e = e.prevInCell {
 		if int(e.pos) >= n || !e.live(n) {
 			continue
 		}
 		if dist := metric.Distance(w, e.cfg); dist <= d {
-			hits = append(hits, hit{e: e, dist: dist})
+			q.sorter.hits = append(q.sorter.hits, hit{e: e, dist: dist})
 		}
 	}
-	return hits
 }
 
-// finishHits sorts collected hits into global insertion order (sequence
-// numbers are unique within a view, so the order is total) and packs the
-// Neighborhood.
-func finishHits(hits []hit) *Neighborhood {
-	sort.Slice(hits, func(a, b int) bool { return hits[a].e.seq < hits[b].e.seq })
-	nb := &Neighborhood{
-		Coords: make([][]float64, len(hits)),
-		Values: make([]float64, len(hits)),
-		Dists:  make([]float64, len(hits)),
+// finishHitsInto sorts the collected hits into global insertion order
+// (sequence numbers are unique within a view, so the order is total) and
+// packs them into the caller's buffer, allocation-free once the buffer
+// is warm.
+func finishHitsInto(buf *Neighborhood) *Neighborhood {
+	buf.q.sorter.byDist = false
+	sort.Sort(&buf.q.sorter)
+	buf.reset()
+	for _, h := range buf.q.sorter.hits {
+		buf.appendHit(h)
 	}
-	for i, h := range hits {
-		nb.Coords[i] = h.e.coords
-		nb.Values[i] = h.e.lambda
-		nb.Dists[i] = h.dist
+	return buf
+}
+
+// finishNearestKInto packs the k nearest collected hits into the
+// caller's buffer with exactly Neighborhood.NearestK's contract: when
+// every hit fits (<= k), insertion order is preserved; otherwise hits
+// are ordered by (distance, sequence) — what a stable-by-distance sort
+// of an insertion-ordered neighbourhood yields — and truncated to k.
+func finishNearestKInto(buf *Neighborhood, k int) *Neighborhood {
+	hits := buf.q.sorter.hits
+	if len(hits) <= k {
+		return finishHitsInto(buf)
 	}
-	return nb
+	buf.q.sorter.byDist = true
+	sort.Sort(&buf.q.sorter)
+	hits = buf.q.sorter.hits[:k]
+	buf.reset()
+	for _, h := range hits {
+		buf.appendHit(h)
+	}
+	return buf
+}
+
+// nearestKIndexed collects the k nearest entries within radius d through
+// the lattice cells, expanding the candidate ring shell by shell and
+// stopping early once the k-th best distance proves every farther shell
+// irrelevant. The collected superset always contains every entry at
+// distance <= the final k-th best, so the (distance, sequence) selection
+// is exactly the linear path's NearestK — pruning only ever discards
+// provably out-of-selection cells. ok=false hands the query to the
+// sweep path (shells outgrew the occupied cells); pruned reports whether
+// any in-radius cell was skipped on the k-th-best bound, i.e. whether
+// the collection may be missing in-range points beyond the k nearest.
+func nearestKIndexed(buf *Neighborhood, states []*shardState, metric space.Metric, ic indexConfig, w space.Config, d float64, k int) (ok, pruned bool) {
+	occupied := 0
+	for _, st := range states {
+		occupied += st.nCells
+	}
+	rMax := int(math.Ceil(d / float64(ic.cell)))
+	q := &buf.q
+	q.qc = cellOfInto(q.qc, w, ic.cell)
+	nv := len(q.qc)
+	growInts(&q.cc, nv)
+	q.kd = q.kd[:0]
+	enumerated := 0
+	for r := 0; r <= rMax; r++ {
+		// Once the shells outgrow the occupied-cell count, per-cell
+		// sweeping is strictly cheaper than ring enumeration; hand the
+		// whole query back to the sweep path (the caller restarts with
+		// the radius-bounded collection).
+		enumerated += ringShellSize(nv, r, occupied)
+		if enumerated > occupied && r > 0 {
+			return false, false
+		}
+		if collectShell(buf, states, metric, ic, w, d, r, k) {
+			pruned = true
+		}
+		// Early exit: every cell at shell r+1 or beyond lies at least
+		// ringMinDist away on some axis; once k candidates are at hand
+		// and strictly closer, no farther shell can change the selection
+		// (ties at exactly the k-th distance resolve by sequence among
+		// entries at that distance, all of which are already collected).
+		if len(q.kd) == k && r < rMax && ringMinDist(w, q.qc, r+1, ic.cell) > q.kd[0] {
+			pruned = true
+			break
+		}
+	}
+	return true, pruned
+}
+
+// collectShell probes every cell whose Chebyshev ring index is exactly r,
+// pruning cells that cannot beat the current k-th best distance, and
+// feeds surviving entries into the hits and the k-best heap. It reports
+// whether any cell that intersects the query radius was skipped on the
+// k-th-best bound alone.
+func collectShell(buf *Neighborhood, states []*shardState, metric space.Metric, ic indexConfig, w space.Config, d float64, r, k int) (pruned bool) {
+	q := &buf.q
+	nv := len(q.qc)
+	off := growInts(&q.off, nv)
+	for i := range off {
+		off[i] = -r
+	}
+	cc := q.cc
+	for {
+		shell := r == 0
+		for i, o := range off {
+			cc[i] = q.qc[i] + o
+			if o == -r || o == r {
+				shell = true
+			}
+		}
+		if shell {
+			bound := d
+			if len(q.kd) == k && q.kd[0] < bound {
+				bound = q.kd[0]
+			}
+			if md := cellMinDist(metric, w, cc, ic.cell); md <= bound {
+				h := hashCellCoords(cc)
+				for _, st := range states {
+					if st.cells == nil {
+						continue
+					}
+					if head := st.cells.findCell(h, cc, ic.cell); head != nil {
+						appendChainHitsK(q, st, head, metric, w, d, k)
+					}
+				}
+			} else if md <= d {
+				pruned = true
+			}
+		}
+		// Advance the odometer. Axis 0 jumps across the box interior:
+		// when no higher axis sits on the ±r boundary, only off[0] = ±r
+		// yields shell cells, so the run between them is skipped
+		// wholesale instead of enumerated and discarded.
+		i := 0
+		for ; i < nv; i++ {
+			off[i]++
+			if i == 0 && off[0] > -r && off[0] < r {
+				interior := true
+				for j := 1; j < nv; j++ {
+					if off[j] == -r || off[j] == r {
+						interior = false
+						break
+					}
+				}
+				if interior {
+					off[0] = r
+				}
+			}
+			if off[i] <= r {
+				break
+			}
+			off[i] = -r
+		}
+		if i == nv {
+			return pruned
+		}
+	}
+}
+
+// appendChainHitsK is appendChainHits plus k-best heap maintenance.
+func appendChainHitsK(q *queryScratch, st *shardState, head *shardEntry, metric space.Metric, w space.Config, d float64, k int) {
+	n := len(st.entries)
+	for e := head; e != nil; e = e.prevInCell {
+		if int(e.pos) >= n || !e.live(n) {
+			continue
+		}
+		if dist := metric.Distance(w, e.cfg); dist <= d {
+			q.sorter.hits = append(q.sorter.hits, hit{e: e, dist: dist})
+			kdPush(&q.kd, dist, k)
+		}
+	}
+}
+
+// kdPush maintains a max-heap of the k smallest distances seen: the root
+// is the current k-th best, the pruning bound of the early exit.
+func kdPush(kd *[]float64, dist float64, k int) {
+	h := *kd
+	if len(h) < k {
+		h = append(h, dist)
+		// Sift up.
+		i := len(h) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if h[p] >= h[i] {
+				break
+			}
+			h[p], h[i] = h[i], h[p]
+			i = p
+		}
+		*kd = h
+		return
+	}
+	if dist >= h[0] {
+		return
+	}
+	// Replace the root and sift down.
+	h[0] = dist
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(h) && h[l] > h[big] {
+			big = l
+		}
+		if r < len(h) && h[r] > h[big] {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+}
+
+// ringShellSize returns the number of cells at Chebyshev ring index
+// exactly r in nv dimensions, saturating at limit+1.
+func ringShellSize(nv, r, limit int) int {
+	if r == 0 {
+		return 1
+	}
+	outer := ringSize(nv, r, limit)
+	inner := ringSize(nv, r-1, limit)
+	if outer > limit {
+		return limit + 1
+	}
+	return outer - inner
+}
+
+// ringMinDist lower-bounds the distance (under any indexable metric,
+// all of which dominate the per-axis displacement) from w to any point
+// in any cell at Chebyshev ring index r: such a cell sits r cells away
+// on at least one axis, so the cheapest axis-direction gap is a valid
+// bound. It is nondecreasing in r, which is what lets the shell
+// expansion stop.
+func ringMinDist(w space.Config, qc []int, r, edge int) float64 {
+	best := math.Inf(1)
+	for i, c := range qc {
+		g := cellGap(w[i], c+r, edge)
+		if gm := cellGap(w[i], c-r, edge); gm < g {
+			g = gm
+		}
+		if fg := float64(g); fg < best {
+			best = fg
+		}
+	}
+	return best
 }

@@ -39,6 +39,34 @@ func BenchmarkNeighborsScaling(b *testing.B) {
 					s.Neighbors(queries[i%len(queries)], d)
 				}
 			})
+			// The zero-allocation fast path: same query mix through a
+			// reused buffer.
+			b.Run(fmt.Sprintf("n=%d/%v/into", n, mode), func(b *testing.B) {
+				r := rng.New(uint64(n))
+				s := NewWithOptions(space.MetricL1, Options{Index: mode, RadiusHint: d})
+				for s.Len() < n {
+					s.Add(draw(r), r.Float64())
+				}
+				var buf Neighborhood
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.NeighborsInto(&buf, queries[i%len(queries)], d)
+				}
+			})
 		}
+		// Shell-pruned k-nearest with early exit versus truncating the
+		// full radius neighbourhood.
+		b.Run(fmt.Sprintf("n=%d/nearest10", n), func(b *testing.B) {
+			r := rng.New(uint64(n))
+			s := NewWithOptions(space.MetricL1, Options{RadiusHint: d})
+			for s.Len() < n {
+				s.Add(draw(r), r.Float64())
+			}
+			var buf Neighborhood
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.NearestKInto(&buf, queries[i%len(queries)], d, 10)
+			}
+		})
 	}
 }

@@ -71,6 +71,10 @@ func TestNeighborsIndexEquivalence(t *testing.T) {
 						t.Fatalf("store sizes diverged: %d vs %d", indexed.Len(), linear.Len())
 					}
 					snap := indexed.Snapshot()
+					// One warm buffer per store across every query in the
+					// subtest, so buffer reuse is exercised between radii,
+					// query points AND k values.
+					var buf, kbuf Neighborhood
 					for q := 0; q < 40; q++ {
 						w := randConfig(r, nv, -8, 14)
 						for d := 1.0; d <= 6; d++ {
@@ -78,6 +82,16 @@ func TestNeighborsIndexEquivalence(t *testing.T) {
 							ctx := fmt.Sprintf("w=%v d=%v", w, d)
 							assertSameNeighborhood(t, ctx, indexed.Neighbors(w, d), want)
 							assertSameNeighborhood(t, "snapshot "+ctx, snap.Neighbors(w, d), want)
+							assertSameNeighborhood(t, "into "+ctx, indexed.NeighborsInto(&buf, w, d), want)
+							// k-truncation: the shell-pruned k-nearest must
+							// equal truncating the full linear neighbourhood,
+							// ties (insertion order) included.
+							for _, k := range []int{1, 3, 8} {
+								wantK := want.NearestK(k)
+								kctx := fmt.Sprintf("%s k=%d", ctx, k)
+								assertSameNeighborhood(t, kctx, indexed.NearestKInto(&kbuf, w, d, k), wantK)
+								assertSameNeighborhood(t, "snapshot "+kctx, snap.NearestK(w, d, k), wantK)
+							}
 						}
 					}
 				})

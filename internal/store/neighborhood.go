@@ -6,21 +6,84 @@ import "sort"
 // slices of float coordinates and metric values, mirroring the paper's
 // Wtmp / λtmp accumulators. The coordinate slices alias the store's
 // internal precomputed coordinates and must be treated as read-only.
+//
+// A Neighborhood doubles as a reusable query buffer: the *Into query
+// methods (Store.NeighborsInto, Snapshot.NearestKInto, ...) refill the
+// caller's buffer in place, reusing its slices and its private
+// collection scratch, so a warm buffer answers radius and k-nearest
+// queries without heap allocations. A buffer must not be shared between
+// concurrent queries; the store itself stays safe for concurrent use.
 type Neighborhood struct {
 	Coords [][]float64
 	Values []float64
 	// Dists holds the distance of each support point to the query.
 	Dists []float64
+
+	// q is the per-buffer query scratch: candidate hits, odometer cursor
+	// and heap state live here between queries so repeated *Into calls
+	// on one buffer are allocation-free.
+	q queryScratch
+}
+
+// queryScratch is the reusable per-query state of the radius and
+// k-nearest collectors.
+type queryScratch struct {
+	sorter hitSorter     // candidate hits + final ordering mode
+	states []*shardState // Store.*Into shard-state capture
+	qc     []int         // query cell coordinates
+	off    []int         // odometer digits of the candidate ring cursor
+	cc     []int         // candidate cell coordinates
+	kd     []float64     // max-heap of the k best distances seen
+}
+
+// hitSorter orders collected hits either by global insertion sequence
+// (radius queries) or by (distance, sequence) (k-nearest queries, the
+// order a stable-by-distance sort of an insertion-ordered neighbourhood
+// produces). Sorting goes through a pointer receiver into the pooled
+// scratch, so it never allocates.
+type hitSorter struct {
+	hits   []hit
+	byDist bool
+}
+
+func (s *hitSorter) Len() int      { return len(s.hits) }
+func (s *hitSorter) Swap(a, b int) { s.hits[a], s.hits[b] = s.hits[b], s.hits[a] }
+func (s *hitSorter) Less(a, b int) bool {
+	if s.byDist && s.hits[a].dist != s.hits[b].dist {
+		return s.hits[a].dist < s.hits[b].dist
+	}
+	return s.hits[a].e.seq < s.hits[b].e.seq
 }
 
 // Len returns the number of support points (Nn).
 func (nb *Neighborhood) Len() int { return len(nb.Values) }
 
+// reset clears the visible slices, keeping capacity for reuse.
+func (nb *Neighborhood) reset() {
+	nb.Coords = nb.Coords[:0]
+	nb.Values = nb.Values[:0]
+	nb.Dists = nb.Dists[:0]
+}
+
+// appendHit adds one collected entry to the visible slices.
+func (nb *Neighborhood) appendHit(h hit) {
+	nb.Coords = append(nb.Coords, h.e.coords)
+	nb.Values = append(nb.Values, h.e.lambda)
+	nb.Dists = append(nb.Dists, h.dist)
+}
+
+// releaseScratch drops the collection scratch — used by the allocating
+// wrapper APIs so a returned Neighborhood does not pin candidate entries
+// (or shard states) beyond the coordinates it exposes.
+func (nb *Neighborhood) releaseScratch() { nb.q = queryScratch{} }
+
 // NearestK returns the k closest support points (ties kept in insertion
 // order), or the whole neighbourhood when k <= 0 or k >= Len. Capping the
 // kriging support at the nearest points is the standard way to keep the
 // Γ system small and well conditioned (Numerical Recipes recommends
-// "order 20 or fewer" supports).
+// "order 20 or fewer" supports). For an allocation-free alternative that
+// also prunes the underlying search, see Store.NearestKInto and
+// Snapshot.NearestKInto.
 func (nb *Neighborhood) NearestK(k int) *Neighborhood {
 	if k <= 0 || k >= nb.Len() {
 		return nb

@@ -118,23 +118,56 @@ type shardBuilder struct {
 	cellBuf []int // scratch cell coordinates, reused across inserts
 }
 
+// reserve pre-sizes the builder for n further inserts: the entry backing
+// array and both hash tables grow once, up front, instead of stepwise
+// inside the batch loop. Published views are unaffected — they pin their
+// own (old) backing arrays, exactly as with append-driven growth.
+func (b *shardBuilder) reserve(n int, ic indexConfig) {
+	if need := len(b.entries) + n; cap(b.entries) < need {
+		grown := make([]*shardEntry, len(b.entries), need)
+		copy(grown, b.entries)
+		b.entries = grown
+	}
+	if b.keys == nil {
+		b.keys = newTable(tableSizeFor(b.live + n))
+	} else if b.keys.overloaded(b.live + n) {
+		b.keys = b.keys.regrowTo(tableSizeFor(b.live+n), func(o *shardEntry) uint64 { return o.hash })
+	}
+	if ic.bucketing() {
+		// Worst case every insert opens a new cell.
+		if b.cells == nil {
+			b.cells = newTable(tableSizeFor(b.nCells + n))
+		} else if b.cells.overloaded(b.nCells + n) {
+			b.cells = b.cells.regrowTo(tableSizeFor(b.nCells+n), func(o *shardEntry) uint64 { return hashCellOf(o.cfg, ic.cell) })
+		}
+	}
+}
+
 // insert records (cfg, lambda) in the builder without publishing. A new
 // configuration consumes seq; re-adding an existing one appends a
 // replacement version that keeps the original sequence stamp (so the
 // global insertion order is stable) and reports added=false.
 func (b *shardBuilder) insert(hash uint64, cfg space.Config, lambda float64, seq uint64, ic indexConfig) (added bool) {
-	if b.keys == nil {
-		b.keys = newTable(minTableSize)
-	}
-	prev := b.keys.findConfig(hash, cfg)
 	c := cfg.Clone()
-	e := &shardEntry{
+	return b.insertEntry(&shardEntry{
 		cfg:    c,
 		coords: c.Floats(),
 		lambda: lambda,
 		hash:   hash,
-		pos:    int32(len(b.entries)),
+	}, seq, ic)
+}
+
+// insertEntry is insert for a caller-allocated entry whose cfg, coords,
+// lambda and hash are already set (cfg and coords owned by the store
+// from here on) — the bulk path carves entries out of per-batch slabs
+// instead of allocating three objects per result. Position, sequence and
+// chain links are filled here.
+func (b *shardBuilder) insertEntry(e *shardEntry, seq uint64, ic indexConfig) (added bool) {
+	if b.keys == nil {
+		b.keys = newTable(minTableSize)
 	}
+	prev := b.keys.findConfig(e.hash, e.cfg)
+	e.pos = int32(len(b.entries))
 	if prev != nil {
 		e.seq = prev.seq
 		e.prevVersion = prev
@@ -153,7 +186,7 @@ func (b *shardBuilder) insert(hash uint64, cfg space.Config, lambda float64, seq
 		b.bucket(e, ic.cell)
 	}
 	b.entries = append(b.entries, e)
-	b.keys.storeConfig(hash, e)
+	b.keys.storeConfig(e.hash, e)
 	if prev != nil {
 		// Views published from here on contain e, so they must see its
 		// predecessor as superseded; older views filter the mark out
@@ -204,23 +237,67 @@ func hashConfig(c space.Config) uint64 {
 }
 
 // neighborsStates collects every entry within distance <= d of w from a
-// frozen set of shard states, ordered by global insertion sequence. It
-// dispatches between the lattice-bucket index and the reference linear
+// frozen set of shard states, ordered by global insertion sequence — the
+// allocating wrapper over neighborsStatesInto.
+func neighborsStates(states []*shardState, metric space.Metric, ic indexConfig, w space.Config, d float64) *Neighborhood {
+	nb := neighborsStatesInto(new(Neighborhood), states, metric, ic, w, d)
+	nb.releaseScratch()
+	return nb
+}
+
+// neighborsStatesInto answers the radius query into the caller's buffer,
+// reusing its slices and collection scratch (allocation-free once warm).
+// It dispatches between the lattice-bucket index and the reference linear
 // scan; both produce bit-identical neighbourhoods (the sequence sort
 // restores the global insertion order so downstream tie-breaking —
 // NearestK keeps ties oldest-first — is independent of sharding and of
 // cell iteration order).
-func neighborsStates(states []*shardState, metric space.Metric, ic indexConfig, w space.Config, d float64) *Neighborhood {
+func neighborsStatesInto(buf *Neighborhood, states []*shardState, metric space.Metric, ic indexConfig, w space.Config, d float64) *Neighborhood {
+	buf.q.sorter.hits = buf.q.sorter.hits[:0]
 	if useIndex(states, metric, ic, d) {
-		return neighborsIndexed(states, metric, ic, w, d)
+		neighborsIndexed(buf, states, metric, ic, w, d)
+	} else {
+		collectLinear(buf, states, metric, w, d)
 	}
-	return neighborsLinear(states, metric, w, d)
+	return finishHitsInto(buf)
 }
 
-// neighborsLinear is the reference implementation: a full scan of every
-// live entry, exactly as in the paper's pseudo-code.
-func neighborsLinear(states []*shardState, metric space.Metric, w space.Config, d float64) *Neighborhood {
-	var hits []hit
+// nearestKStatesInto collects the k nearest entries within distance d
+// into the caller's buffer — exactly Neighbors(w, d).NearestK(k),
+// ordering contract included (insertion order when everything fits,
+// (distance, sequence) with ties oldest-first when truncated) — but
+// without materialising the full radius neighbourhood: the lattice path
+// expands candidate-cell shells outward and stops as soon as the k-th
+// best distance bounds every remaining shell, and the whole query runs
+// on the buffer's scratch. k <= 0 degrades to the plain radius query.
+func nearestKStatesInto(buf *Neighborhood, states []*shardState, metric space.Metric, ic indexConfig, w space.Config, d float64, k int) *Neighborhood {
+	if k <= 0 {
+		return neighborsStatesInto(buf, states, metric, ic, w, d)
+	}
+	buf.q.sorter.hits = buf.q.sorter.hits[:0]
+	if useIndex(states, metric, ic, d) {
+		ok, pruned := nearestKIndexed(buf, states, metric, ic, w, d, k)
+		if !ok || (pruned && len(buf.q.sorter.hits) <= k) {
+			// Either the candidate shells outgrew the occupied cells, or
+			// the k-bound pruning makes it ambiguous whether the in-range
+			// total exceeds k (which decides NearestK's ordering
+			// contract): restart as an exhaustive radius-bounded sweep of
+			// the occupied buckets. More than k collected hits already
+			// proves the total exceeds k, so the common dense case keeps
+			// its early exit.
+			buf.q.sorter.hits = buf.q.sorter.hits[:0]
+			collectSweep(buf, states, metric, ic, w, d)
+		}
+	} else {
+		collectLinear(buf, states, metric, w, d)
+	}
+	return finishNearestKInto(buf, k)
+}
+
+// collectLinear is the reference collection: a full scan of every live
+// entry, exactly as in the paper's pseudo-code.
+func collectLinear(buf *Neighborhood, states []*shardState, metric space.Metric, w space.Config, d float64) {
+	q := &buf.q
 	for _, st := range states {
 		n := len(st.entries)
 		for _, e := range st.entries {
@@ -229,11 +306,10 @@ func neighborsLinear(states []*shardState, metric space.Metric, w space.Config, 
 			}
 			dist := metric.Distance(w, e.cfg)
 			if dist <= d {
-				hits = append(hits, hit{e: e, dist: dist})
+				q.sorter.hits = append(q.sorter.hits, hit{e: e, dist: dist})
 			}
 		}
 	}
-	return finishHits(hits)
 }
 
 // entriesStates flattens frozen shard states into insertion order.

@@ -46,6 +46,28 @@ func (sn Snapshot) Neighbors(w space.Config, d float64) *Neighborhood {
 	return neighborsStates(sn.states, sn.metric, sn.ic, w, d)
 }
 
+// NeighborsInto is Neighbors into a caller-owned buffer, reusing its
+// slices and query scratch — allocation-free once the buffer is warm.
+// buf must not be used by concurrent queries.
+func (sn Snapshot) NeighborsInto(buf *Neighborhood, w space.Config, d float64) *Neighborhood {
+	return neighborsStatesInto(buf, sn.states, sn.metric, sn.ic, w, d)
+}
+
+// NearestK returns the k closest configurations within distance d as of
+// snapshot time — identical to Neighbors(w, d).NearestK(k), with the
+// same shell-pruned lattice search as Store.NearestK.
+func (sn Snapshot) NearestK(w space.Config, d float64, k int) *Neighborhood {
+	nb := sn.NearestKInto(new(Neighborhood), w, d, k)
+	nb.releaseScratch()
+	return nb
+}
+
+// NearestKInto is NearestK into a caller-owned buffer, allocation-free
+// once the buffer is warm.
+func (sn Snapshot) NearestKInto(buf *Neighborhood, w space.Config, d float64, k int) *Neighborhood {
+	return nearestKStatesInto(buf, sn.states, sn.metric, sn.ic, w, d, k)
+}
+
 // Entries returns the snapshot contents in insertion order.
 func (sn Snapshot) Entries() []Entry {
 	return entriesStates(sn.states)

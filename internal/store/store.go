@@ -134,6 +134,11 @@ func (s *Store) Add(c space.Config, lambda float64) (added bool) {
 // first occurrence's insertion rank). It returns the number of entries
 // that were new configurations.
 //
+// Entry records, configuration copies and precomputed coordinates are
+// carved out of batch-level slabs (three allocations per batch instead
+// of three per entry); the stored entries live for the life of the
+// store anyway, so slab sharing costs nothing.
+//
 // Concurrent readers are never blocked and observe, per shard, either
 // the pre-batch view or the post-batch view — a consistent prefix of
 // that shard's final insertion sequence, never a torn intermediate.
@@ -143,25 +148,60 @@ func (s *Store) AddBatch(entries []Entry) (added int) {
 	}
 	type pending struct {
 		hash, seq uint64
-		cfg       space.Config
-		lambda    float64
+		idx       int
 	}
-	// Group per shard, preserving input order (and assigning the global
-	// sequence stamps in input order).
-	byShard := make([][]pending, len(s.shards))
-	for _, e := range entries {
+	// Stamp global sequence numbers in input order and group per shard
+	// with a counting sort (stable, so per-shard input order survives).
+	ps := make([]pending, len(entries))
+	counts := make([]int, len(s.shards)+1)
+	for i, e := range entries {
 		h := hashConfig(e.Config)
-		si := h & s.mask
-		byShard[si] = append(byShard[si], pending{hash: h, seq: s.seq.Add(1), cfg: e.Config, lambda: e.Lambda})
+		ps[i] = pending{hash: h, seq: s.seq.Add(1), idx: i}
+		counts[(h&s.mask)+1]++
 	}
-	for si, ps := range byShard {
-		if len(ps) == 0 {
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	ordered := make([]pending, len(entries))
+	fill := append([]int(nil), counts[:len(s.shards)]...)
+	total := 0
+	for _, p := range ps {
+		si := p.hash & s.mask
+		ordered[fill[si]] = p
+		fill[si]++
+		total += len(entries[p.idx].Config)
+	}
+	// Batch-level slabs: entry records plus one backing array each for
+	// the cloned configurations and their float coordinates, carved
+	// sequentially as the per-shard segments are inserted.
+	slab := make([]shardEntry, len(entries))
+	ints := make([]int, total)
+	floats := make([]float64, total)
+	for si := range s.shards {
+		seg := ordered[counts[si]:counts[si+1]]
+		if len(seg) == 0 {
 			continue
 		}
 		sh := &s.shards[si]
 		sh.mu.Lock()
-		for _, p := range ps {
-			if sh.b.insert(p.hash, p.cfg, p.lambda, p.seq, s.ic) {
+		sh.b.reserve(len(seg), s.ic)
+		for _, p := range seg {
+			src := entries[p.idx]
+			nv := len(src.Config)
+			cfg := space.Config(ints[:nv:nv])
+			coords := floats[:nv:nv]
+			ints, floats = ints[nv:], floats[nv:]
+			for j, v := range src.Config {
+				cfg[j] = v
+				coords[j] = float64(v)
+			}
+			e := &slab[0]
+			slab = slab[1:]
+			e.cfg = cfg
+			e.coords = coords
+			e.lambda = src.Lambda
+			e.hash = p.hash
+			if sh.b.insertEntry(e, p.seq, s.ic) {
 				added++
 			}
 		}
@@ -198,8 +238,52 @@ func (s *Store) Entries() []Entry {
 // radius — O(candidates) rather than O(N) — and produces exactly the
 // neighbourhood of the pseudo-code's linear scan; it reads the shard
 // states lock-free, so it never blocks concurrent writers (or vice versa).
+// It is the allocating wrapper over NeighborsInto.
 func (s *Store) Neighbors(w space.Config, d float64) *Neighborhood {
-	return neighborsStates(s.loadStates(), s.metric, s.ic, w, d)
+	nb := s.NeighborsInto(new(Neighborhood), w, d)
+	nb.releaseScratch()
+	return nb
+}
+
+// NeighborsInto is Neighbors into a caller-owned buffer: the result
+// slices and the query's internal scratch (candidate hits, cell cursor,
+// shard-state capture) reuse buf's backing arrays, so a warm buffer
+// answers radius queries without heap allocations. buf must not be used
+// by concurrent queries; the returned pointer is buf.
+func (s *Store) NeighborsInto(buf *Neighborhood, w space.Config, d float64) *Neighborhood {
+	return neighborsStatesInto(buf, s.loadStatesInto(buf), s.metric, s.ic, w, d)
+}
+
+// NearestK returns the k closest simulated configurations within
+// distance d of w, ordered by (distance, insertion sequence) with ties
+// oldest-first — identical to Neighbors(w, d).NearestK(k), but the
+// lattice path stops expanding candidate-cell shells as soon as the k-th
+// best distance bounds everything farther out, instead of materialising
+// and sorting the full radius neighbourhood. k <= 0 means no cap.
+func (s *Store) NearestK(w space.Config, d float64, k int) *Neighborhood {
+	nb := s.NearestKInto(new(Neighborhood), w, d, k)
+	nb.releaseScratch()
+	return nb
+}
+
+// NearestKInto is NearestK into a caller-owned buffer, allocation-free
+// once the buffer is warm.
+func (s *Store) NearestKInto(buf *Neighborhood, w space.Config, d float64, k int) *Neighborhood {
+	return nearestKStatesInto(buf, s.loadStatesInto(buf), s.metric, s.ic, w, d, k)
+}
+
+// loadStatesInto captures the current shard states into the buffer's
+// scratch, avoiding the per-query slice allocation of loadStates.
+func (s *Store) loadStatesInto(buf *Neighborhood) []*shardState {
+	states := buf.q.states[:0]
+	if cap(states) < len(s.shards) {
+		states = make([]*shardState, 0, len(s.shards))
+	}
+	for i := range s.shards {
+		states = append(states, s.shards[i].state.Load())
+	}
+	buf.q.states = states
+	return states
 }
 
 // AllSamples returns the whole store as a Neighborhood (distances zeroed),

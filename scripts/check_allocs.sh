@@ -1,0 +1,20 @@
+#!/bin/sh
+# Allocation gate: runs the TestAllocs* tests — the testing.AllocsPerRun
+# contracts of the query fast paths — WITHOUT the race detector (race
+# instrumentation allocates on its own, so the same tests skip themselves
+# under -race; see internal/raceflag).
+#
+# Gates enforced:
+#   - linalg:    SolveInto on warm factors            (0 allocs)
+#   - kriging:   cache-hit Ordinary/Simple Predict    (0 allocs)
+#                IDW/Nearest/Capped baselines         (0 allocs)
+#   - store:     warm NeighborsInto / NearestKInto    (0 allocs)
+#   - evaluator: exact-hit Evaluate                   (0 allocs)
+#                steady-state interpolated Evaluate   (<= 1 alloc)
+#
+# Run from the repository root:  sh scripts/check_allocs.sh
+set -eu
+
+go test -count=1 -run 'TestAllocs|TestSolveIntoAllocs' \
+    ./internal/linalg ./internal/kriging ./internal/store ./internal/evaluator
+echo "allocation gates OK"
