@@ -7,11 +7,18 @@
 //
 //	wlopt [-bench fir|iir|fft|hevc] [-d n] [-nnmin n] [-lambda dB]
 //	      [-size small|full] [-seed n] [-nokriging] [-workers n]
+//	      [-state dir]
 //
 // With -workers > 1 (or 0 for GOMAXPROCS) the min+1 competition evaluates
 // its candidate word-length vectors as one parallel batch per greedy
 // round, so the optimisation scales across cores. A first SIGINT/SIGTERM
 // cancels the run gracefully through the evaluation engine.
+//
+// With -state the support store is durable: every simulated result is
+// logged (checksummed, fsynced) to the directory before it is
+// acknowledged, and a re-run against the same directory resumes from the
+// recovered store instead of re-simulating — killing a long campaign,
+// even with -9, costs at most the one in-flight batch.
 package main
 
 import (
@@ -40,6 +47,7 @@ func main() {
 		noKriging = flag.Bool("nokriging", false, "disable interpolation (simulation only)")
 		refine    = flag.Bool("refine", false, "run a ±1 local search after the optimiser")
 		workers   = flag.Int("workers", 1, "parallel simulations per competition round (0 = GOMAXPROCS)")
+		stateDir  = flag.String("state", "", "state directory for a durable support store (resume interrupted campaigns)")
 	)
 	flag.Parse()
 	ctx, stop := cli.SignalContext()
@@ -62,9 +70,14 @@ func main() {
 		opts.Transform = evaluator.NegPowerToDB
 		opts.Untransform = evaluator.DBToNegPower
 	}
+	opts.StateDir = *stateDir
 	ev, err := evaluator.New(sim, opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	defer ev.Close()
+	if *stateDir != "" && ev.Store().Len() > 0 {
+		fmt.Printf("resumed        : %d simulated configurations from %s\n", ev.Store().Len(), *stateDir)
 	}
 	// The adapter satisfies optim.BatchOracle, so the min+1 competition
 	// runs each round's candidates as one parallel batch when -workers

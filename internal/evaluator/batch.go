@@ -154,6 +154,12 @@ func (e *Evaluator) EvaluateAllContext(ctx context.Context, cfgs []space.Config,
 		}
 	}
 	e.store.AddBatch(commit)
+	if err := e.store.Err(); err != nil {
+		// Durable store gone fail-stop: the commit was not persisted, so
+		// the batch's simulated answers are not store-backed and must not
+		// be acknowledged.
+		return nil, err
+	}
 	e.stats.merge(&batchStats)
 	return results, nil
 }

@@ -162,6 +162,12 @@ func (e *Evaluator) simulateShared(ctx context.Context, cfg space.Config, stats 
 				// values, so back-fill unless the commit already landed.
 				if _, ok := e.store.Lookup(cfg); !ok {
 					e.store.Add(cfg, f.lam)
+					if serr := e.store.Err(); serr != nil {
+						// Durable store gone fail-stop: the value exists but
+						// can no longer be backed by the store, so do not
+						// hand it out as if it were.
+						return 0, serr
+					}
 				}
 			}
 			return f.lam, nil
@@ -208,6 +214,12 @@ func (e *Evaluator) simulateOwned(ctx context.Context, cfg space.Config, stats *
 		stats.nSim.Add(1)
 		if insertNow {
 			e.store.Add(cfg, lam)
+			if serr := e.store.Err(); serr != nil {
+				// On a durable store an unpersisted result must not be
+				// acknowledged: fail the query (and the flight) with the
+				// sticky durability error.
+				err = serr
+			}
 		}
 	}
 	if f != nil {

@@ -148,6 +148,15 @@ type Options struct {
 	// ONE simulation; the first caller runs the simulator and the rest
 	// block on its result. Sequential callers are unaffected either way.
 	DisableCoalescing bool
+	// StateDir, when non-empty, makes the support store durable: every
+	// simulated result is written to a checksummed write-ahead log in
+	// this directory (group-committed and fsynced per batch) before it
+	// is acknowledged, and New recovers the directory's contents into
+	// the store — so an interrupted campaign resumes with every paid-for
+	// simulation instead of re-running it. New fails if the directory
+	// holds a corrupt log. Call Close when done. Empty keeps the store
+	// purely in-memory, exactly as before.
+	StateDir string
 }
 
 // ErrBadOptions reports an invalid Options combination.
@@ -247,23 +256,43 @@ func New(sim Simulator, opts Options) (*Evaluator, error) {
 	if opts.DMax > hint {
 		hint = opts.DMax
 	}
+	sopts := store.Options{
+		Shards:     opts.StoreShards,
+		Index:      opts.StoreIndex,
+		CellSize:   opts.StoreCellSize,
+		RadiusHint: hint,
+	}
+	if opts.StateDir != "" {
+		sopts.Durability = &store.DurabilityOptions{Dir: opts.StateDir}
+	}
+	st, err := store.Open(opts.Metric, sopts)
+	if err != nil {
+		return nil, fmt.Errorf("evaluator: opening state: %w", err)
+	}
 	return &Evaluator{
-		sim:  sim,
-		opts: opts,
-		store: store.NewWithOptions(opts.Metric, store.Options{
-			Shards:     opts.StoreShards,
-			Index:      opts.StoreIndex,
-			CellSize:   opts.StoreCellSize,
-			RadiusHint: hint,
-		}),
+		sim:     sim,
+		opts:    opts,
+		store:   st,
 		flights: newInflight(!opts.DisableCoalescing),
 		scratch: sync.Pool{New: func() any { return new(queryScratch) }},
 	}, nil
 }
 
+// Close flushes and closes the durable state (Options.StateDir). The
+// evaluator remains usable for reads and interpolation against the
+// in-memory store, but simulated results are no longer persisted or
+// acknowledged. Closing an in-memory evaluator is a no-op.
+func (e *Evaluator) Close() error { return e.store.Close() }
+
 // Store exposes the simulated-configuration store (read-mostly; the
 // optimisers warm-start Algorithm 2 with the store of Algorithm 1).
 func (e *Evaluator) Store() *store.Store { return e.store }
+
+// Err reports the sticky durability failure of the state store, if any.
+// A durable evaluator is fail-stop: once persisting a result fails, no
+// later simulation is acknowledged (queries return the error instead),
+// and Err explains why. Always nil for in-memory evaluators.
+func (e *Evaluator) Err() error { return e.store.Err() }
 
 // Preload bulk-loads previously simulated results into the support store
 // through the amortized write path — the warm-start primitive behind

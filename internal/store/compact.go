@@ -33,7 +33,30 @@ func (s *Store) Versions() int {
 //
 // Compact only blocks writers, one shard at a time; concurrent readers
 // stay lock-free throughout.
+//
+// On a durable store Compact also truncates the log: the compacted
+// contents are written as one snapshot file and every older log segment
+// is deleted (wal.Log.Rotate), so the disk sheds the superseded
+// versions at the same moment memory does and recovery replays the
+// snapshot instead of the whole history. A truncation failure is sticky
+// via Err; the in-memory compaction still happened.
 func (s *Store) Compact() (dropped int) {
+	if s.log == nil {
+		return s.compactMem()
+	}
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	dropped = s.compactMem()
+	if s.walErr != nil || s.closed {
+		return dropped
+	}
+	if err := s.log.Rotate(s.records(s.Entries())); err != nil {
+		s.walErr = err
+	}
+	return dropped
+}
+
+func (s *Store) compactMem() (dropped int) {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()

@@ -67,4 +67,21 @@
 // against the store as it stood on entry, regardless of concurrent
 // writers. Snapshots inherit the originating store's index policy and
 // are immune to later overwrites of the entries they contain.
+//
+// # Persistence: Open and the write-ahead log
+//
+// Open(metric, Options{Durability: &DurabilityOptions{Dir: dir}})
+// returns a store whose writes are durable: every Add/AddBatch appends
+// one checksummed, fsynced record to a write-ahead segment log
+// (internal/store/wal) before touching memory — group commit, O(1)
+// allocations per batch — and reopening the same directory replays the
+// log back into the sharded structure, bit-identical query surface
+// included. Recovery truncates a torn final record (the residue of a
+// crash mid-append) and refuses interior corruption with
+// wal.ErrCorrupt; Compact doubles as log truncation by cutting an
+// atomically-renamed snapshot of the compacted contents and deleting
+// the superseded files. After any I/O error the store goes fail-stop:
+// writes return the sticky error (also via Err()), reads keep working.
+// A nil Durability (and every other constructor) means a pure
+// in-memory store with no I/O anywhere.
 package store

@@ -1,0 +1,165 @@
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/space"
+	"repro/internal/store/wal"
+)
+
+// DurabilityOptions configures the write-ahead-log backend of a durable
+// store. See Open.
+type DurabilityOptions struct {
+	// Dir is the state directory holding the segment log and snapshot
+	// files; it is created if missing. One directory belongs to one
+	// store at a time.
+	Dir string
+	// Sync is the fsync policy. The zero value (wal.SyncBatch) makes an
+	// acknowledged write durable: one fsync per Add or AddBatch. Use
+	// wal.SyncNone to trade crash-durability of the latest writes for
+	// write latency.
+	Sync wal.SyncPolicy
+	// SegmentSize overrides the log's segment roll threshold; zero
+	// selects wal.DefaultSegmentSize.
+	SegmentSize int64
+	// FS overrides the filesystem, for fault-injection tests; nil is
+	// the operating system.
+	FS wal.FS
+}
+
+// Open creates a store, durable when opt.Durability is set: contents
+// are recovered from the state directory (replayed through the same
+// AddBatch path live writes take, so lookups, neighbourhoods and
+// overwrite winners are bit-identical to the store that crashed), and
+// every subsequent write is logged before it is applied. With nil
+// Durability it is exactly NewWithOptions — existing in-memory call
+// sites have nothing to change.
+//
+// Recovery refuses a log whose interior is damaged (wal.ErrCorrupt); a
+// torn final record — the residue of a mid-append crash — is truncated
+// silently, because nothing acknowledged lived there.
+func Open(metric space.Metric, opt Options) (*Store, error) {
+	d := opt.Durability
+	if d == nil {
+		return NewWithOptions(metric, opt), nil
+	}
+	opt.Durability = nil
+	s := newMem(metric, opt)
+	l, err := wal.Open(wal.Options{Dir: d.Dir, Sync: d.Sync, SegmentSize: d.SegmentSize, FS: d.FS})
+	if err != nil {
+		return nil, err
+	}
+	var batch []Entry
+	err = l.Replay(func(recs []wal.Record) error {
+		batch = batch[:0]
+		for _, r := range recs {
+			batch = append(batch, Entry{Config: space.Config(r.Config), Lambda: r.Lambda})
+		}
+		s.addBatchMem(batch)
+		return nil
+	})
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	s.log = l
+	return s, nil
+}
+
+// Durable reports whether the store is backed by a write-ahead log.
+func (s *Store) Durable() bool { return s.log != nil }
+
+// Dir returns the state directory of a durable store ("" when
+// in-memory).
+func (s *Store) Dir() string {
+	if s.log == nil {
+		return ""
+	}
+	return s.log.Dir()
+}
+
+// Err returns the sticky durability failure, if any. A durable store is
+// fail-stop: after a write or fsync error the failed write (and every
+// later one) is not applied, not acknowledged, and this reports why.
+// In-memory stores always return nil.
+func (s *Store) Err() error {
+	if s.log == nil {
+		return nil
+	}
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	return s.walErr
+}
+
+// Close flushes and closes the log. The store remains readable — the
+// in-memory views are untouched — but further writes fail sticky.
+// Closing an in-memory store, or closing twice, is a no-op.
+func (s *Store) Close() error {
+	if s.log == nil {
+		return nil
+	}
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.log.Close()
+	if s.walErr != nil {
+		return s.walErr
+	}
+	return err
+}
+
+// addDurable logs one entry as a single-record batch, then applies it.
+// walMu spans both steps so the log's record order always matches the
+// in-memory sequence stamps (recovery replays in log order).
+func (s *Store) addDurable(c space.Config, lambda float64) (added bool) {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.walErr != nil || s.closed {
+		return false
+	}
+	recs := s.recBuf[:0]
+	recs = append(recs, wal.Record{Config: []int(c), Lambda: lambda})
+	s.recBuf = recs
+	if err := s.log.Append(recs); err != nil {
+		s.walErr = fmt.Errorf("store: durable add: %w", err)
+		return false
+	}
+	return s.addMem(c, lambda)
+}
+
+// addBatchDurable group-commits the batch — one log record, one fsync —
+// then applies it through the in-memory bulk path.
+func (s *Store) addBatchDurable(entries []Entry) (added int) {
+	if len(entries) == 0 {
+		return 0
+	}
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.walErr != nil || s.closed {
+		return 0
+	}
+	if err := s.log.Append(s.records(entries)); err != nil {
+		s.walErr = fmt.Errorf("store: durable batch: %w", err)
+		return 0
+	}
+	return s.addBatchMem(entries)
+}
+
+// records converts entries into the log's record type, reusing the
+// store's scratch slice: the conversion is header-only (the coordinate
+// slices are shared, not copied), so a warm durable store logs a batch
+// with zero allocations here. Callers hold walMu.
+func (s *Store) records(entries []Entry) []wal.Record {
+	recs := s.recBuf[:0]
+	if cap(recs) < len(entries) {
+		recs = make([]wal.Record, 0, len(entries))
+	}
+	for _, e := range entries {
+		recs = append(recs, wal.Record{Config: []int(e.Config), Lambda: e.Lambda})
+	}
+	s.recBuf = recs
+	return recs
+}

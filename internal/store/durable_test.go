@@ -1,0 +1,312 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/space"
+	"repro/internal/store/wal"
+	"repro/internal/store/wal/faultfs"
+)
+
+// buildMixedWorkload drives the same deterministic mix of single Adds,
+// AddBatches, overwrites and Compacts into dst, mirroring it into mem
+// (an in-memory reference) when non-nil.
+func buildMixedWorkload(dst, mem *Store, seed uint64, rounds int) {
+	r := rng.New(seed)
+	var history []space.Config
+	apply := func(f func(s *Store)) {
+		f(dst)
+		if mem != nil {
+			f(mem)
+		}
+	}
+	for i := 0; i < rounds; i++ {
+		switch {
+		case i%7 == 3 && len(history) > 0: // overwrite an old config
+			c := history[r.Uint64()%uint64(len(history))]
+			lam := r.Float64()
+			apply(func(s *Store) { s.Add(c, lam) })
+		case i%5 == 2: // batch with an interior duplicate
+			batch := make([]Entry, 0, 9)
+			for j := 0; j < 8; j++ {
+				c := randConfig(r, 4, 0, 20)
+				batch = append(batch, Entry{Config: c, Lambda: r.Float64()})
+				history = append(history, c)
+			}
+			batch = append(batch, Entry{Config: batch[0].Config, Lambda: r.Float64()})
+			apply(func(s *Store) { s.AddBatch(batch) })
+		case i%11 == 10:
+			apply(func(s *Store) { s.Compact() })
+		default:
+			c := randConfig(r, 4, 0, 20)
+			lam := r.Float64()
+			history = append(history, c)
+			apply(func(s *Store) { s.Add(c, lam) })
+		}
+	}
+}
+
+// assertStoresIdentical requires a and b to be indistinguishable:
+// same entries in the same insertion order, same lookups, and
+// bit-identical radius / k-nearest query results across probes.
+func assertStoresIdentical(t *testing.T, label string, a, b *Store) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("%s: Len %d vs %d", label, a.Len(), b.Len())
+	}
+	ea, eb := a.Entries(), b.Entries()
+	if len(ea) != len(eb) {
+		t.Fatalf("%s: Entries %d vs %d", label, len(ea), len(eb))
+	}
+	for i := range ea {
+		if !ea[i].Config.Equal(eb[i].Config) || ea[i].Lambda != eb[i].Lambda {
+			t.Fatalf("%s: entry %d: %v=%v vs %v=%v", label, i, ea[i].Config, ea[i].Lambda, eb[i].Config, eb[i].Lambda)
+		}
+		va, oka := a.Lookup(ea[i].Config)
+		vb, okb := b.Lookup(ea[i].Config)
+		if oka != okb || va != vb {
+			t.Fatalf("%s: Lookup(%v): (%v,%v) vs (%v,%v)", label, ea[i].Config, va, oka, vb, okb)
+		}
+	}
+	r := rng.New(99)
+	for q := 0; q < 32; q++ {
+		w := randConfig(r, 4, 0, 20)
+		for _, d := range []float64{2, 5} {
+			na, nb := a.Neighbors(w, d), b.Neighbors(w, d)
+			assertSameNeighborhood(t, label+" Neighbors", na, nb)
+			ka, kb := a.NearestK(w, d, 6), b.NearestK(w, d, 6)
+			assertSameNeighborhood(t, label+" NearestK", ka, kb)
+		}
+	}
+}
+
+func openDurable(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(space.MetricL1, Options{Durability: &DurabilityOptions{Dir: dir}})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+// TestDurableReopenEquivalence is the core recovery property: a durable
+// store that lived through adds, batches (with interior duplicates),
+// overwrites and compactions recovers — after a clean close — to a
+// store bit-identical to an in-memory one fed the same operations, and
+// survives a second generation of writes and reopens.
+func TestDurableReopenEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	mem := New(space.MetricL1)
+	s := openDurable(t, dir)
+	buildMixedWorkload(s, mem, 7, 120)
+	assertStoresIdentical(t, "live durable vs mem", s, mem)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2 := openDurable(t, dir)
+	assertStoresIdentical(t, "reopened vs mem", s2, mem)
+
+	// Keep writing after recovery, close, reopen again.
+	buildMixedWorkload(s2, mem, 8, 60)
+	if err := s2.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	s3 := openDurable(t, dir)
+	defer s3.Close()
+	assertStoresIdentical(t, "second reopen vs mem", s3, mem)
+}
+
+// TestDurableCompactTruncatesLog pins the Compact/Rotate wiring: after
+// Compact the directory holds one snapshot and one fresh segment, the
+// superseded versions are gone from disk, and recovery replays to the
+// same contents.
+func TestDurableCompactTruncatesLog(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir)
+	c := space.Config{1, 2, 3}
+	for i := 0; i < 50; i++ {
+		s.Add(c, float64(i)) // 49 superseded versions
+	}
+	s.Add(space.Config{4, 5, 6}, 7)
+	preSize := dirSize(t, dir)
+	if dropped := s.Compact(); dropped != 49 {
+		t.Fatalf("Compact dropped %d, want 49", dropped)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("Err after Compact: %v", err)
+	}
+	var segs, snaps int
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		switch {
+		case strings.HasSuffix(e.Name(), ".seg"):
+			segs++
+		case strings.HasSuffix(e.Name(), ".snap"):
+			snaps++
+		}
+	}
+	if segs != 1 || snaps != 1 {
+		t.Fatalf("after Compact: %d segments, %d snapshots; want 1 and 1", segs, snaps)
+	}
+	if post := dirSize(t, dir); post >= preSize {
+		t.Errorf("Compact did not shrink the log: %d -> %d bytes", preSize, post)
+	}
+	s.Close()
+
+	s2 := openDurable(t, dir)
+	defer s2.Close()
+	if v, ok := s2.Lookup(c); !ok || v != 49 {
+		t.Fatalf("recovered overwrite winner %v, %v; want 49", v, ok)
+	}
+	if s2.Len() != 2 || s2.Versions() != 2 {
+		t.Fatalf("recovered Len=%d Versions=%d, want 2 and 2", s2.Len(), s2.Versions())
+	}
+}
+
+func dirSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	var total int64
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		fi, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+	}
+	return total
+}
+
+// TestDurableResetSurvivesReopen: Reset empties the disk too.
+func TestDurableResetSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir)
+	buildMixedWorkload(s, nil, 3, 40)
+	s.Reset()
+	if err := s.Err(); err != nil {
+		t.Fatalf("Err after Reset: %v", err)
+	}
+	s.Add(space.Config{9, 9}, 1)
+	s.Close()
+	s2 := openDurable(t, dir)
+	defer s2.Close()
+	if s2.Len() != 1 {
+		t.Fatalf("recovered Len %d after Reset+1 add, want 1", s2.Len())
+	}
+}
+
+// TestDurableFailStop: once the device fails, no later write is applied
+// or acknowledged, and Err explains why.
+func TestDurableFailStop(t *testing.T) {
+	fs := faultfs.New()
+	s, err := Open(space.MetricL1, Options{Durability: &DurabilityOptions{Dir: "state", FS: fs}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Add(space.Config{1, 1}, 1) {
+		t.Fatal("healthy add failed")
+	}
+	fs.LimitWrites(0)
+	if s.Add(space.Config{2, 2}, 2) {
+		t.Fatal("add acknowledged after device failure")
+	}
+	if s.Err() == nil || !errors.Is(s.Err(), faultfs.ErrInjected) {
+		t.Fatalf("Err = %v, want the injected fault", s.Err())
+	}
+	fs.ClearFaults() // device recovers, but the store must stay fail-stop
+	if s.AddBatch([]Entry{{Config: space.Config{3, 3}, Lambda: 3}}) != 0 {
+		t.Fatal("batch acknowledged on a broken store")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len %d after failed writes, want 1", s.Len())
+	}
+	// Reads keep working.
+	if v, ok := s.Lookup(space.Config{1, 1}); !ok || v != 1 {
+		t.Fatalf("Lookup on broken store: %v, %v", v, ok)
+	}
+	s.Close()
+}
+
+// TestDurableOpenRefusesCorruption: interior damage to an on-disk
+// segment must fail Open with wal.ErrCorrupt, not come back as data.
+func TestDurableOpenRefusesCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir)
+	for i := 0; i < 10; i++ {
+		s.Add(space.Config{i, i}, float64(i))
+	}
+	s.Close()
+	seg := filepath.Join(dir, "wal-0000000000000001.seg")
+	f, err := os.OpenFile(seg, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the first record's payload: interior corruption,
+	// because nine more records follow it.
+	if _, err := f.WriteAt([]byte{0xFF}, 40); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Open(space.MetricL1, Options{Durability: &DurabilityOptions{Dir: dir}}); !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("Open over corrupt segment: %v, want wal.ErrCorrupt", err)
+	}
+}
+
+// TestDurableConstructorContract: NewWithOptions must refuse a
+// Durability option (recovery can fail; only Open can report that), and
+// Open without one must stay the plain in-memory constructor.
+func TestDurableConstructorContract(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewWithOptions accepted Options.Durability")
+		}
+	}()
+	s, err := Open(space.MetricL1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Durable() || s.Dir() != "" || s.Err() != nil || s.Close() != nil {
+		t.Error("in-memory Open: durable surface should be inert")
+	}
+	NewWithOptions(space.MetricL1, Options{Durability: &DurabilityOptions{Dir: "x"}})
+}
+
+// TestAllocsDurableAddBatch gates the WAL write path: group commit must
+// add only O(1) allocations per batch on top of the in-memory bulk
+// path, independent of batch size (reused encode buffer + record
+// scratch).
+func TestAllocsDurableAddBatch(t *testing.T) {
+	skipUnderRace(t)
+	r := rng.New(5)
+	batch := make([]Entry, 1000)
+	for i := range batch {
+		batch[i] = Entry{Config: randConfig(r, 4, 0, 25), Lambda: r.Float64()}
+	}
+	mem := New(space.MetricL1)
+	memAllocs := testing.AllocsPerRun(10, func() { mem.AddBatch(batch) })
+
+	// SyncNone keeps the gate off fsync latency; the sync itself
+	// allocates nothing.
+	s, err := Open(space.MetricL1, Options{Durability: &DurabilityOptions{Dir: t.TempDir(), Sync: wal.SyncNone}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.AddBatch(batch) // warm the encode scratch
+	durAllocs := testing.AllocsPerRun(10, func() { s.AddBatch(batch) })
+	if durAllocs > memAllocs+2 {
+		t.Errorf("durable AddBatch allocates %.1f per 1000-entry batch vs %.1f in-memory; want O(1) overhead", durAllocs, memAllocs)
+	}
+}

@@ -1,9 +1,11 @@
 package store
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/space"
+	"repro/internal/store/wal"
 )
 
 // Entry is one simulated configuration and its measured metric value.
@@ -25,6 +27,16 @@ type Store struct {
 	ic     indexConfig   // frozen spatial-index policy
 	seq    atomic.Uint64 // global insertion stamp
 	count  atomic.Int64  // live entry count (Len)
+
+	// Durable backend (nil for the in-memory store). walMu serialises
+	// writers so the log's record order matches the sequence stamps the
+	// entries got in memory — recovery replays the log in order, so the
+	// two orders must agree or overwrite winners could flip on restart.
+	log    *wal.Log
+	walMu  sync.Mutex
+	walErr error        // sticky durability failure; see Err
+	closed bool         // Close called
+	recBuf []wal.Record // encode scratch reused across batches
 }
 
 // Options configures a Store beyond its distance metric. The zero value
@@ -50,6 +62,11 @@ type Options struct {
 	// MinIndexedSize is the store size below which IndexAuto falls back
 	// to the linear scan; zero selects a small default (64).
 	MinIndexedSize int
+	// Durability, when non-nil, backs the store with a write-ahead
+	// segment log so its contents survive restarts. Durable stores must
+	// be created with Open (recovery can fail); NewWithOptions panics if
+	// this field is set. Nil keeps the store purely in-memory.
+	Durability *DurabilityOptions
 }
 
 // New creates an empty store using the given distance metric for
@@ -67,9 +84,19 @@ func NewSharded(metric space.Metric, nShards int) *Store {
 	return NewWithOptions(metric, Options{Shards: nShards})
 }
 
-// NewWithOptions creates an empty store with explicit sharding and
-// spatial-index policy.
+// NewWithOptions creates an empty in-memory store with explicit
+// sharding and spatial-index policy. Durable stores are created with
+// Open; NewWithOptions panics if opt.Durability is set, because
+// recovery has failure modes a panic-free constructor cannot report.
 func NewWithOptions(metric space.Metric, opt Options) *Store {
+	if opt.Durability != nil {
+		panic("store: NewWithOptions cannot open a durable store; use store.Open")
+	}
+	return newMem(metric, opt)
+}
+
+// newMem builds the in-memory core shared by both constructors.
+func newMem(metric space.Metric, opt Options) *Store {
 	if opt.Shards < 1 {
 		opt.Shards = DefaultShardCount
 	}
@@ -112,7 +139,18 @@ func (s *Store) IndexInfo() (mode IndexMode, cellSize int) {
 // builder (append-only entries, incremental key/cell tables) under the
 // shard lock and publishes a fresh immutable view, instead of copying
 // the shard. Lock-free readers keep whatever view they loaded.
+//
+// On a durable store the entry is logged (and, under SyncBatch, fsynced)
+// before it is applied; if durability fails the entry is NOT added,
+// Add reports false, and the failure is sticky via Err.
 func (s *Store) Add(c space.Config, lambda float64) (added bool) {
+	if s.log != nil {
+		return s.addDurable(c, lambda)
+	}
+	return s.addMem(c, lambda)
+}
+
+func (s *Store) addMem(c space.Config, lambda float64) (added bool) {
 	hash := hashConfig(c)
 	sh := &s.shards[hash&s.mask]
 	sh.mu.Lock()
@@ -142,7 +180,20 @@ func (s *Store) Add(c space.Config, lambda float64) (added bool) {
 // Concurrent readers are never blocked and observe, per shard, either
 // the pre-batch view or the post-batch view — a consistent prefix of
 // that shard's final insertion sequence, never a torn intermediate.
+//
+// On a durable store the batch is group-committed: ONE log record and
+// (under SyncBatch) ONE fsync cover the whole batch before it is
+// applied, so a batch survives a crash all-or-nothing. If durability
+// fails the batch is NOT applied, AddBatch reports 0, and the failure
+// is sticky via Err.
 func (s *Store) AddBatch(entries []Entry) (added int) {
+	if s.log != nil {
+		return s.addBatchDurable(entries)
+	}
+	return s.addBatchMem(entries)
+}
+
+func (s *Store) addBatchMem(entries []Entry) (added int) {
 	if len(entries) == 0 {
 		return 0
 	}
@@ -310,8 +361,26 @@ func (s *Store) Snapshot() Snapshot {
 }
 
 // Reset empties the store. Concurrent readers observe either the old or
-// the new (empty) state per shard.
+// the new (empty) state per shard. On a durable store the log is
+// truncated behind an empty snapshot, so the emptiness survives a
+// restart (a rotation failure is sticky via Err, like any write).
 func (s *Store) Reset() {
+	if s.log == nil {
+		s.resetMem()
+		return
+	}
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	s.resetMem()
+	if s.walErr != nil || s.closed {
+		return
+	}
+	if err := s.log.Rotate(nil); err != nil {
+		s.walErr = err
+	}
+}
+
+func (s *Store) resetMem() {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()

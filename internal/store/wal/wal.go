@@ -1,0 +1,500 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Record is one persisted store entry: a configuration and its measured
+// metric value. The store's durable layer converts store.Entry to and
+// from this type so the wal package stays free of store dependencies.
+type Record struct {
+	Config []int
+	Lambda float64
+}
+
+// SyncPolicy selects when appended records are flushed to stable
+// storage.
+type SyncPolicy int
+
+const (
+	// SyncBatch (the default) fsyncs once per Append — group commit: a
+	// returned Append survives a crash. One fsync covers the whole
+	// batch, so the amortized bulk-write speed is preserved.
+	SyncBatch SyncPolicy = iota
+	// SyncNone never fsyncs on the append path; the operating system
+	// flushes at its leisure. A crash may lose the most recent appends
+	// (but recovery still yields a consistent prefix). Snapshots are
+	// always fsynced regardless of policy, because log truncation
+	// depends on them.
+	SyncNone
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the log directory, created if missing.
+	Dir string
+	// Sync is the fsync policy; the zero value is SyncBatch.
+	Sync SyncPolicy
+	// SegmentSize is the byte threshold past which the log rolls to a
+	// new segment file; zero selects 64 MiB.
+	SegmentSize int64
+	// FS overrides the filesystem, for fault-injection tests; nil is the
+	// operating system.
+	FS FS
+}
+
+// DefaultSegmentSize is the segment roll threshold when
+// Options.SegmentSize is zero.
+const DefaultSegmentSize int64 = 64 << 20
+
+// ErrClosed reports use of a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// errUnreplayed guards against losing recovered state: a log that came
+// back from disk with data must hand it over (or be told to drop it)
+// before accepting new appends.
+var errUnreplayed = errors.New("wal: recovered records must be consumed through Replay before appending")
+
+// Log is an append-only, checksummed segment log with snapshot-based
+// truncation. All methods are safe for concurrent use; appends are
+// serialised, which is what makes one Append a group commit.
+//
+// After any write or sync failure the log turns fail-stop: the failed
+// append was never acknowledged, and every later operation returns the
+// same sticky error rather than risking a gap between acknowledged
+// records.
+type Log struct {
+	fs     FS
+	dir    string
+	sync   SyncPolicy
+	segMax int64
+
+	mu       sync.Mutex
+	f        File
+	segIndex uint64
+	segSize  int64
+	buf      []byte // encode scratch, reused across appends
+	broken   error  // sticky failure
+	closed   bool
+
+	replayed       bool
+	pendingSnap    []Record
+	pendingBatches [][]Record
+}
+
+// Open scans dir, validates the snapshot and segment chain, truncates a
+// torn tail off the final segment, and returns a log positioned for
+// appending. Recovered state is pending until Replay is called.
+//
+// Open refuses (with ErrCorrupt) any damage other than a torn final
+// record: an interior checksum failure, a gap in the segment sequence,
+// or an invalid snapshot all mean acknowledged data is gone, which is
+// not recoverable silently.
+func Open(opts Options) (*Log, error) {
+	l := &Log{
+		fs:     opts.FS,
+		dir:    opts.Dir,
+		sync:   opts.Sync,
+		segMax: opts.SegmentSize,
+	}
+	if l.fs == nil {
+		l.fs = DefaultFS()
+	}
+	if l.segMax <= 0 {
+		l.segMax = DefaultSegmentSize
+	}
+	if l.dir == "" {
+		return nil, errors.New("wal: Options.Dir is required")
+	}
+	if err := l.fs.MkdirAll(l.dir); err != nil {
+		return nil, fmt.Errorf("wal: creating %s: %w", l.dir, err)
+	}
+	segs, snaps, err := l.scanDir()
+	if err != nil {
+		return nil, err
+	}
+	// Load the newest snapshot; older snapshots and the segments they
+	// superseded are deleted below.
+	var snapIdx uint64
+	if len(snaps) > 0 {
+		snapIdx = snaps[len(snaps)-1]
+		data, err := l.fs.ReadFile(l.path(snapName(snapIdx)))
+		if err != nil {
+			return nil, fmt.Errorf("wal: reading snapshot %d: %w", snapIdx, err)
+		}
+		l.pendingSnap, err = parseSnapshot(data, snapIdx)
+		if err != nil {
+			return nil, err
+		}
+	}
+	live := segs[:0]
+	for _, idx := range segs {
+		if idx < snapIdx {
+			_ = l.fs.Remove(l.path(segName(idx))) // superseded by the snapshot
+			continue
+		}
+		live = append(live, idx)
+	}
+	for _, idx := range snaps {
+		if idx != snapIdx {
+			_ = l.fs.Remove(l.path(snapName(idx)))
+		}
+	}
+	if len(live) == 0 {
+		// Fresh log, or a crash between writing a snapshot and creating
+		// its segment: start the chain at the snapshot's index.
+		start := snapIdx
+		if start == 0 {
+			start = 1
+		}
+		if err := l.startSegment(start, true); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	// The chain must be contiguous from the snapshot (or from 1 when no
+	// snapshot exists — segments are created starting at 1).
+	first := snapIdx
+	if first == 0 {
+		first = 1
+	}
+	if live[0] != first {
+		return nil, corruptf("first segment is %d, want %d", live[0], first)
+	}
+	for i := 1; i < len(live); i++ {
+		if live[i] != live[i-1]+1 {
+			return nil, corruptf("segment %d missing", live[i-1]+1)
+		}
+	}
+	for i, idx := range live {
+		last := i == len(live)-1
+		data, err := l.fs.ReadFile(l.path(segName(idx)))
+		if err != nil {
+			return nil, fmt.Errorf("wal: reading segment %d: %w", idx, err)
+		}
+		batches, validLen, torn, err := scanSegment(data, idx, last)
+		if err != nil {
+			return nil, err
+		}
+		l.pendingBatches = append(l.pendingBatches, batches...)
+		if !last {
+			continue
+		}
+		l.segIndex = idx
+		if torn && validLen < headerLen {
+			// Even the header was cut short; rebuild the segment in
+			// place from scratch.
+			f, err := l.fs.OpenAppend(l.path(segName(idx)), 0)
+			if err != nil {
+				return nil, fmt.Errorf("wal: reopening segment %d: %w", idx, err)
+			}
+			l.f = f
+			if err := l.writeHeader(idx); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		f, err := l.fs.OpenAppend(l.path(segName(idx)), int64(validLen))
+		if err != nil {
+			return nil, fmt.Errorf("wal: reopening segment %d: %w", idx, err)
+		}
+		l.f = f
+		l.segSize = int64(validLen)
+	}
+	return l, nil
+}
+
+// scanDir classifies the directory contents, deleting leftover temp
+// files from an interrupted snapshot write. Returned slices are sorted.
+func (l *Log) scanDir() (segs, snaps []uint64, err error) {
+	names, err := l.fs.ReadDir(l.dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: reading %s: %w", l.dir, err)
+	}
+	for _, name := range names {
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			_ = l.fs.Remove(l.path(name))
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".seg"):
+			idx, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg"), 16, 64)
+			if perr != nil {
+				return nil, nil, corruptf("unparseable segment name %q", name)
+			}
+			segs = append(segs, idx)
+		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
+			idx, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap"), 16, 64)
+			if perr != nil {
+				return nil, nil, corruptf("unparseable snapshot name %q", name)
+			}
+			snaps = append(snaps, idx)
+		}
+	}
+	sort.Slice(segs, func(a, b int) bool { return segs[a] < segs[b] })
+	sort.Slice(snaps, func(a, b int) bool { return snaps[a] < snaps[b] })
+	return segs, snaps, nil
+}
+
+// Replay hands the recovered state to fn in commit order: the snapshot
+// contents (as one batch) first, then every logged batch. Passing nil
+// discards the recovered records. Replay is required before the first
+// Append when recovery found data; it is a no-op the second time.
+func (l *Log) Replay(fn func(batch []Record) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.replayed {
+		return nil
+	}
+	l.replayed = true
+	snap, batches := l.pendingSnap, l.pendingBatches
+	l.pendingSnap, l.pendingBatches = nil, nil
+	if fn == nil {
+		return nil
+	}
+	if len(snap) > 0 {
+		if err := fn(snap); err != nil {
+			return err
+		}
+	}
+	for _, b := range batches {
+		if err := fn(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Append writes one batch as a single checksummed record and, under
+// SyncBatch, fsyncs before returning — the group commit: when Append
+// returns nil the whole batch is durable; on error none of it is
+// acknowledged and the log is fail-stop. Append encodes into a buffer
+// reused across calls, so a warm log appends with O(1) allocations per
+// batch regardless of batch size.
+func (l *Log) Append(batch []Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.writable(); err != nil {
+		return err
+	}
+	l.buf = appendRecord(l.buf[:0], kindBatch, batch)
+	if l.segSize > headerLen && l.segSize+int64(len(l.buf)) > l.segMax {
+		if err := l.roll(); err != nil {
+			l.broken = err
+			return err
+		}
+	}
+	if err := l.write(l.buf); err != nil {
+		l.broken = err
+		return err
+	}
+	if l.sync == SyncBatch {
+		if err := l.f.Sync(); err != nil {
+			l.broken = fmt.Errorf("wal: sync: %w", err)
+			return l.broken
+		}
+	}
+	return nil
+}
+
+// Sync flushes outstanding appends to stable storage, the manual commit
+// point under SyncNone.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.broken != nil {
+		return l.broken
+	}
+	if err := l.f.Sync(); err != nil {
+		l.broken = fmt.Errorf("wal: sync: %w", err)
+		return l.broken
+	}
+	return nil
+}
+
+// Rotate cuts a snapshot of the complete state and truncates the log
+// behind it: the snapshot is written to a temporary file, fsynced and
+// atomically renamed (regardless of the sync policy — truncation must
+// never outrun durability), a fresh segment is started, and every older
+// segment and snapshot is deleted. The store calls this from Compact, so
+// the on-disk log sheds superseded overwrite versions at the same moment
+// the in-memory store does. state must be the full contents in
+// insertion order; replaying the snapshot alone reproduces the store.
+func (l *Log) Rotate(state []Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.writable(); err != nil {
+		return err
+	}
+	newIdx := l.segIndex + 1
+	l.buf = appendHeader(l.buf[:0], snapMagic, newIdx)
+	l.buf = appendRecord(l.buf, kindSnapshot, state)
+	tmp := l.path(snapName(newIdx) + ".tmp")
+	f, err := l.fs.Create(tmp)
+	if err != nil {
+		return l.fail(fmt.Errorf("wal: creating snapshot: %w", err))
+	}
+	n, err := f.Write(l.buf)
+	if err == nil && n < len(l.buf) {
+		err = io.ErrShortWrite
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return l.fail(fmt.Errorf("wal: writing snapshot: %w", err))
+	}
+	if err := l.fs.Rename(tmp, l.path(snapName(newIdx))); err != nil {
+		return l.fail(fmt.Errorf("wal: publishing snapshot: %w", err))
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		return l.fail(fmt.Errorf("wal: syncing %s: %w", l.dir, err))
+	}
+	// The snapshot is durable; everything before it is now garbage. The
+	// old segment is closed unsynced — it is about to be deleted.
+	oldIdx := l.segIndex
+	if err := l.f.Close(); err != nil {
+		return l.fail(fmt.Errorf("wal: closing segment %d: %w", oldIdx, err))
+	}
+	if err := l.startSegment(newIdx, false); err != nil {
+		return l.fail(err)
+	}
+	for idx := oldIdx; idx > 0; idx-- {
+		if l.fs.Remove(l.path(segName(idx))) != nil {
+			break // reached the end of the contiguous chain
+		}
+	}
+	for idx := newIdx - 1; idx > 0; idx-- {
+		if l.fs.Remove(l.path(snapName(idx))) != nil {
+			break
+		}
+	}
+	_ = l.fs.SyncDir(l.dir) // deletions are advisory; stale files are re-reaped on Open
+	return nil
+}
+
+// Close syncs and closes the current segment. The sticky failure, if
+// any, takes precedence in the returned error.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	l.closed = true
+	if l.f == nil {
+		return l.broken
+	}
+	var err error
+	if l.broken == nil && l.sync != SyncNone {
+		err = l.f.Sync()
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	if l.broken != nil {
+		return l.broken
+	}
+	return err
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// writable gates mutating operations; callers hold l.mu.
+func (l *Log) writable() error {
+	if l.closed {
+		return ErrClosed
+	}
+	if l.broken != nil {
+		return l.broken
+	}
+	if !l.replayed && (len(l.pendingSnap) > 0 || len(l.pendingBatches) > 0) {
+		return errUnreplayed
+	}
+	return nil
+}
+
+// fail records a sticky failure; callers hold l.mu.
+func (l *Log) fail(err error) error {
+	l.broken = err
+	return err
+}
+
+// roll finishes the current segment and starts the next one; callers
+// hold l.mu. Records already in the old segment were synced per policy
+// as they were appended, so the old file just closes.
+func (l *Log) roll() error {
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: closing segment %d: %w", l.segIndex, err)
+	}
+	return l.startSegment(l.segIndex+1, false)
+}
+
+// startSegment creates segment idx and writes its header. Under
+// SyncBatch the header and the directory entry are fsynced immediately:
+// a batch acknowledged right after a roll must not vanish because the
+// new segment's name never reached the disk. syncAlways forces that
+// durability even under SyncNone (used for the very first segment, so an
+// empty-but-opened log is always recoverable).
+func (l *Log) startSegment(idx uint64, syncAlways bool) error {
+	f, err := l.fs.Create(l.path(segName(idx)))
+	if err != nil {
+		return fmt.Errorf("wal: creating segment %d: %w", idx, err)
+	}
+	l.f = f
+	l.segIndex = idx
+	l.segSize = 0
+	if err := l.writeHeader(idx); err != nil {
+		return err
+	}
+	if l.sync == SyncBatch || syncAlways {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: syncing segment %d: %w", idx, err)
+		}
+		if err := l.fs.SyncDir(l.dir); err != nil {
+			return fmt.Errorf("wal: syncing %s: %w", l.dir, err)
+		}
+	}
+	return nil
+}
+
+// writeHeader writes the segment header to l.f; callers hold l.mu.
+func (l *Log) writeHeader(idx uint64) error {
+	hdr := appendHeader(make([]byte, 0, headerLen), segMagic, idx)
+	if err := l.write(hdr); err != nil {
+		return err
+	}
+	return nil
+}
+
+// write appends p to the current segment, converting short writes into
+// errors; callers hold l.mu.
+func (l *Log) write(p []byte) error {
+	n, err := l.f.Write(p)
+	if err == nil && n < len(p) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		return fmt.Errorf("wal: segment %d write: %w", l.segIndex, err)
+	}
+	l.segSize += int64(n)
+	return nil
+}
+
+func (l *Log) path(name string) string { return filepath.Join(l.dir, name) }
+
+func segName(idx uint64) string { return fmt.Sprintf("wal-%016x.seg", idx) }
+
+func snapName(idx uint64) string { return fmt.Sprintf("snap-%016x.snap", idx) }

@@ -9,6 +9,8 @@
 #   - kriging:   cache-hit Ordinary/Simple Predict    (0 allocs)
 #                IDW/Nearest/Capped baselines         (0 allocs)
 #   - store:     warm NeighborsInto / NearestKInto    (0 allocs)
+#                durable AddBatch over in-memory      (O(1) per batch)
+#   - store/wal: warm Log.Append group commit         (O(1) per batch)
 #   - evaluator: exact-hit Evaluate                   (0 allocs)
 #                steady-state interpolated Evaluate   (<= 1 alloc)
 #
@@ -16,5 +18,6 @@
 set -eu
 
 go test -count=1 -run 'TestAllocs|TestSolveIntoAllocs' \
-    ./internal/linalg ./internal/kriging ./internal/store ./internal/evaluator
+    ./internal/linalg ./internal/kriging ./internal/store \
+    ./internal/store/wal ./internal/evaluator
 echo "allocation gates OK"
