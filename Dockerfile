@@ -1,0 +1,29 @@
+# Multi-stage build for cmd/evald, the evaluation-as-a-service front
+# end. The final image is distroless static: no shell, no libc, nonroot
+# — just the static binary, so the attack surface is the HTTP API and
+# nothing else.
+#
+#   docker build -t evald .
+#   docker run -p 8080:8080 \
+#     -e EVALD_API_KEYS='team-a:secret-a:8' \
+#     -v evald-state:/state -e EVALD_STATE_DIR=/state \
+#     evald
+#
+# See docs/DEPLOYMENT.md for configuration, probes and drain behaviour.
+
+FROM golang:1.23 AS build
+WORKDIR /src
+# The module has no external dependencies, so the source copy IS the
+# dependency closure; no separate `go mod download` layer is needed.
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags='-s -w' -o /out/evald ./cmd/evald
+
+FROM gcr.io/distroless/static-debian12:nonroot
+COPY --from=build /out/evald /evald
+# Durable state mount point; enable with EVALD_STATE_DIR=/state.
+VOLUME /state
+EXPOSE 8080
+# No HEALTHCHECK: distroless ships no shell or curl. Orchestrators
+# should probe GET /healthz (liveness) and GET /readyz (readiness).
+ENTRYPOINT ["/evald"]

@@ -1,0 +1,344 @@
+// Command benchdiff compares a fresh `go test -bench` run against a
+// committed BENCH_pr*.json baseline and exits non-zero when a gated
+// benchmark regresses. It is the comparison half of the CI bench gate;
+// the policy half (which entries are gated, and how hard) lives in a
+// gates JSON file (scripts/bench_gates.json).
+//
+// Usage:
+//
+//	go test ./internal/bench -run '^$' -bench ... -benchmem -count 3 | tee bench.txt
+//	benchdiff -baseline BENCH_pr7.json -gates scripts/bench_gates.json bench.txt
+//
+// Comparison rules:
+//
+//   - The fresh value for an entry is the MINIMUM across all repetitions
+//     in the bench output (`-count N` runs). Minimums are robust against
+//     scheduler and GC noise: a real regression shifts the whole
+//     distribution, noise only inflates individual runs.
+//   - ns/op fails when fresh > baseline * (1 + time_tolerance), unless
+//     the entry's gate sets skip_time (disk-bound entries whose
+//     run-to-run spread exceeds any useful tolerance).
+//   - allocs/op fails when fresh > baseline + alloc_slack. The slack
+//     (default 0) absorbs the +-few-allocation GC-timing wobble that
+//     large rows exhibit; it is far below any real per-item leak.
+//   - Baseline entries absent from the fresh output fail when they match
+//     the -require pattern (so deleting or renaming a gated benchmark
+//     cannot silently disarm the gate) and are reported as skipped
+//     otherwise.
+//
+// The waiver path for an intended regression is to re-measure and commit
+// a new BENCH_prN.json baseline in the same PR; there is no override
+// flag by design.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type baselineRow struct {
+	Name        string   `json:"name"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+}
+
+type baselineBench struct {
+	Rows []baselineRow `json:"rows"`
+}
+
+type baselineFile struct {
+	PR         int                      `json:"pr"`
+	Benchmarks map[string]baselineBench `json:"benchmarks"`
+}
+
+// gate is one policy entry; nil fields inherit the default gate.
+type gate struct {
+	Match         string   `json:"match"`
+	SkipTime      *bool    `json:"skip_time"`
+	TimeTolerance *float64 `json:"time_tolerance"`
+	AllocSlack    *float64 `json:"alloc_slack"`
+	Reason        string   `json:"reason"`
+
+	re *regexp.Regexp
+}
+
+type gatesFile struct {
+	Default gate   `json:"default"`
+	Entries []gate `json:"entries"`
+}
+
+// resolved is the effective policy for one benchmark entry.
+type resolved struct {
+	skipTime   bool
+	timeTol    float64
+	allocSlack float64
+}
+
+func (g *gatesFile) resolve(name string) resolved {
+	r := resolved{timeTol: 0.10}
+	if g.Default.TimeTolerance != nil {
+		r.timeTol = *g.Default.TimeTolerance
+	}
+	if g.Default.SkipTime != nil {
+		r.skipTime = *g.Default.SkipTime
+	}
+	if g.Default.AllocSlack != nil {
+		r.allocSlack = *g.Default.AllocSlack
+	}
+	for i := range g.Entries {
+		e := &g.Entries[i]
+		if !e.re.MatchString(name) {
+			continue
+		}
+		if e.SkipTime != nil {
+			r.skipTime = *e.SkipTime
+		}
+		if e.TimeTolerance != nil {
+			r.timeTol = *e.TimeTolerance
+		}
+		if e.AllocSlack != nil {
+			r.allocSlack = *e.AllocSlack
+		}
+		return r // first match wins
+	}
+	return r
+}
+
+// fresh is the min-aggregated measurement of one entry.
+type fresh struct {
+	ns     float64
+	allocs float64
+	hasAl  bool
+	runs   int
+}
+
+// gomaxprocsSuffix strips the trailing "-N" GOMAXPROCS tag the testing
+// package appends to benchmark names on multi-core hosts.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench reads `go test -bench` output and min-aggregates every
+// Benchmark line by (suffix-stripped) name.
+func parseBench(r io.Reader) (map[string]*fresh, error) {
+	out := make(map[string]*fresh)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		// fields[1] is the iteration count; then value/unit pairs.
+		var ns, allocs float64
+		var hasNs, hasAl bool
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in line %q", fields[i], line)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				ns, hasNs = v, true
+			case "allocs/op":
+				allocs, hasAl = v, true
+			}
+		}
+		if !hasNs {
+			continue
+		}
+		f, ok := out[name]
+		if !ok {
+			f = &fresh{ns: ns, allocs: allocs, hasAl: hasAl}
+			out[name] = f
+		} else {
+			if ns < f.ns {
+				f.ns = ns
+			}
+			if hasAl && (!f.hasAl || allocs < f.allocs) {
+				f.allocs, f.hasAl = allocs, true
+			}
+		}
+		f.runs++
+	}
+	return out, sc.Err()
+}
+
+type verdict struct {
+	name    string
+	status  string // "ok", "FAIL", "skip"
+	detail  string
+	failure bool
+}
+
+// compare walks every baseline row and gates the fresh measurements.
+func compare(base *baselineFile, freshByName map[string]*fresh, gates *gatesFile, require *regexp.Regexp) []verdict {
+	var names []string
+	rows := make(map[string]baselineRow)
+	for bench, b := range base.Benchmarks {
+		for _, row := range b.Rows {
+			full := bench
+			if row.Name != "" {
+				full = bench + "/" + row.Name
+			}
+			names = append(names, full)
+			rows[full] = row
+		}
+	}
+	sort.Strings(names)
+
+	var out []verdict
+	for _, name := range names {
+		row := rows[name]
+		f, ok := freshByName[name]
+		if !ok {
+			if require != nil && require.MatchString(name) {
+				out = append(out, verdict{name, "FAIL", "required gated entry missing from the fresh run", true})
+			} else {
+				out = append(out, verdict{name, "skip", "not in the fresh run", false})
+			}
+			continue
+		}
+		pol := gates.resolve(name)
+		var fails, notes []string
+
+		delta := (f.ns - row.NsPerOp) / row.NsPerOp * 100
+		if pol.skipTime {
+			notes = append(notes, fmt.Sprintf("ns/op %s (%+.1f%%, not time-gated)", humanNs(f.ns), delta))
+		} else if f.ns > row.NsPerOp*(1+pol.timeTol) {
+			fails = append(fails, fmt.Sprintf("ns/op %s vs baseline %s (%+.1f%% > +%.0f%% tolerance)",
+				humanNs(f.ns), humanNs(row.NsPerOp), delta, pol.timeTol*100))
+		} else {
+			notes = append(notes, fmt.Sprintf("ns/op %s (%+.1f%%, tol +%.0f%%)", humanNs(f.ns), delta, pol.timeTol*100))
+		}
+
+		if row.AllocsPerOp != nil && f.hasAl {
+			if f.allocs > *row.AllocsPerOp+pol.allocSlack {
+				fails = append(fails, fmt.Sprintf("allocs/op %.0f vs baseline %.0f (slack %.0f)",
+					f.allocs, *row.AllocsPerOp, pol.allocSlack))
+			} else {
+				notes = append(notes, fmt.Sprintf("allocs/op %.0f (baseline %.0f)", f.allocs, *row.AllocsPerOp))
+			}
+		}
+
+		if len(fails) > 0 {
+			out = append(out, verdict{name, "FAIL", strings.Join(fails, "; "), true})
+		} else {
+			out = append(out, verdict{name, "ok", strings.Join(notes, ", "), false})
+		}
+	}
+	return out
+}
+
+func humanNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+func run() error {
+	baselinePath := flag.String("baseline", "", "committed BENCH_pr*.json to gate against (required)")
+	gatesPath := flag.String("gates", "", "gates policy JSON (optional; default gates everything at 10% time, 0 alloc slack)")
+	requirePat := flag.String("require", "", "regexp of baseline entries that must be present in the fresh run")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: benchdiff -baseline BENCH_prN.json [-gates gates.json] [-require RE] [bench-output.txt]\n\nreads `go test -bench` output from the file argument or stdin.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *baselinePath == "" {
+		flag.Usage()
+		return fmt.Errorf("-baseline is required")
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		return err
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", *baselinePath, err)
+	}
+
+	gates := &gatesFile{}
+	if *gatesPath != "" {
+		raw, err := os.ReadFile(*gatesPath)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(raw, gates); err != nil {
+			return fmt.Errorf("%s: %w", *gatesPath, err)
+		}
+	}
+	for i := range gates.Entries {
+		re, err := regexp.Compile(gates.Entries[i].Match)
+		if err != nil {
+			return fmt.Errorf("gates entry %q: %w", gates.Entries[i].Match, err)
+		}
+		gates.Entries[i].re = re
+	}
+
+	var require *regexp.Regexp
+	if *requirePat != "" {
+		if require, err = regexp.Compile(*requirePat); err != nil {
+			return err
+		}
+	}
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	freshByName, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(freshByName) == 0 {
+		return fmt.Errorf("no Benchmark lines in the input")
+	}
+
+	verdicts := compare(&base, freshByName, gates, require)
+	failed := 0
+	for _, v := range verdicts {
+		fmt.Printf("%-5s %-55s %s\n", v.status, v.name, v.detail)
+		if v.failure {
+			failed++
+		}
+	}
+	fmt.Printf("\nbenchdiff: %d entries gated against %s (PR %d baseline)\n",
+		len(verdicts), *baselinePath, base.PR)
+	if failed > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed — if intended, re-measure and commit a new BENCH_prN.json in this PR", failed)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}

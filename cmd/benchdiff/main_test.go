@@ -1,0 +1,170 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/bench
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAddBulk/n=1000/batch         	       1	    300000 ns/op	  271552 B/op	     153 allocs/op
+BenchmarkAddBulk/n=1000/batch         	       1	    250000 ns/op	  271552 B/op	     155 allocs/op
+BenchmarkAddBulk/n=1000/batch-8       	       1	    400000 ns/op	  271552 B/op	     153 allocs/op
+BenchmarkCoalescedServiceSweep/service  	      10	  40000000 ns/op	       251.0 coalesced/op	         4.000 sims/op	 5392357 B/op	   57687 allocs/op
+PASS
+ok  	repro/internal/bench	3.075s
+`
+
+func TestParseBenchMinAggregates(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := got["BenchmarkAddBulk/n=1000/batch"]
+	if !ok {
+		t.Fatalf("entry missing; parsed %d entries", len(got))
+	}
+	if f.runs != 3 {
+		t.Errorf("runs = %d, want 3 (the -8 GOMAXPROCS suffix must fold into the same entry)", f.runs)
+	}
+	if f.ns != 250000 {
+		t.Errorf("ns = %v, want the min 250000", f.ns)
+	}
+	if !f.hasAl || f.allocs != 153 {
+		t.Errorf("allocs = %v (has=%v), want the min 153", f.allocs, f.hasAl)
+	}
+	svc, ok := got["BenchmarkCoalescedServiceSweep/service"]
+	if !ok {
+		t.Fatal("service entry missing: custom metrics must not break parsing")
+	}
+	if svc.ns != 40000000 || svc.allocs != 57687 {
+		t.Errorf("service = %+v", svc)
+	}
+}
+
+func fp(v float64) *float64 { return &v }
+func bp(v bool) *bool       { return &v }
+
+func baselineFor(t *testing.T) *baselineFile {
+	t.Helper()
+	return &baselineFile{
+		PR: 7,
+		Benchmarks: map[string]baselineBench{
+			"BenchmarkFast": {Rows: []baselineRow{
+				{Name: "a", NsPerOp: 1000, AllocsPerOp: fp(10)},
+			}},
+			"BenchmarkDisk": {Rows: []baselineRow{
+				{Name: "b", NsPerOp: 1000, AllocsPerOp: fp(10)},
+			}},
+		},
+	}
+}
+
+func gatesFor() *gatesFile {
+	return &gatesFile{
+		Default: gate{AllocSlack: fp(2)},
+		Entries: []gate{
+			{Match: "^BenchmarkDisk/", SkipTime: bp(true), re: regexp.MustCompile(`^BenchmarkDisk/`)},
+		},
+	}
+}
+
+func TestCompareTable(t *testing.T) {
+	tests := []struct {
+		name     string
+		fresh    map[string]*fresh
+		require  string
+		wantFail map[string]bool // entry -> expect failure
+	}{
+		{
+			name: "within tolerance passes",
+			fresh: map[string]*fresh{
+				"BenchmarkFast/a": {ns: 1090, allocs: 10, hasAl: true, runs: 3},
+				"BenchmarkDisk/b": {ns: 5000, allocs: 12, hasAl: true, runs: 3},
+			},
+			wantFail: map[string]bool{"BenchmarkFast/a": false, "BenchmarkDisk/b": false},
+		},
+		{
+			name: "20 percent slowdown trips the time gate",
+			fresh: map[string]*fresh{
+				"BenchmarkFast/a": {ns: 1200, allocs: 10, hasAl: true, runs: 3},
+				"BenchmarkDisk/b": {ns: 1000, allocs: 10, hasAl: true, runs: 3},
+			},
+			wantFail: map[string]bool{"BenchmarkFast/a": true, "BenchmarkDisk/b": false},
+		},
+		{
+			name: "skip_time entry ignores any slowdown but not allocs",
+			fresh: map[string]*fresh{
+				"BenchmarkFast/a": {ns: 1000, allocs: 10, hasAl: true, runs: 3},
+				"BenchmarkDisk/b": {ns: 99000, allocs: 13, hasAl: true, runs: 3},
+			},
+			wantFail: map[string]bool{"BenchmarkFast/a": false, "BenchmarkDisk/b": true},
+		},
+		{
+			name: "alloc regression beyond slack fails",
+			fresh: map[string]*fresh{
+				"BenchmarkFast/a": {ns: 1000, allocs: 13, hasAl: true, runs: 3},
+				"BenchmarkDisk/b": {ns: 1000, allocs: 10, hasAl: true, runs: 3},
+			},
+			wantFail: map[string]bool{"BenchmarkFast/a": true, "BenchmarkDisk/b": false},
+		},
+		{
+			name: "missing required entry fails, missing optional skips",
+			fresh: map[string]*fresh{
+				"BenchmarkFast/a": {ns: 1000, allocs: 10, hasAl: true, runs: 3},
+			},
+			require:  "Disk",
+			wantFail: map[string]bool{"BenchmarkFast/a": false, "BenchmarkDisk/b": true},
+		},
+		{
+			name: "missing unrequired entry is only skipped",
+			fresh: map[string]*fresh{
+				"BenchmarkFast/a": {ns: 1000, allocs: 10, hasAl: true, runs: 3},
+			},
+			wantFail: map[string]bool{"BenchmarkFast/a": false, "BenchmarkDisk/b": false},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var require *regexp.Regexp
+			if tc.require != "" {
+				require = regexp.MustCompile(tc.require)
+			}
+			verdicts := compare(baselineFor(t), tc.fresh, gatesFor(), require)
+			got := make(map[string]bool)
+			for _, v := range verdicts {
+				got[v.name] = v.failure
+			}
+			for name, want := range tc.wantFail {
+				if got[name] != want {
+					t.Errorf("%s: failure = %v, want %v (verdicts %+v)", name, got[name], want, verdicts)
+				}
+			}
+		})
+	}
+}
+
+func TestResolveFirstMatchWins(t *testing.T) {
+	g := &gatesFile{
+		Default: gate{TimeTolerance: fp(0.10)},
+		Entries: []gate{
+			{Match: "service$", TimeTolerance: fp(0.25), re: regexp.MustCompile(`service$`)},
+			{Match: "service", SkipTime: bp(true), re: regexp.MustCompile(`service`)},
+		},
+	}
+	r := g.resolve("BenchmarkCoalescedServiceSweep/service")
+	if r.skipTime || r.timeTol != 0.25 {
+		t.Errorf("resolve = %+v, want first-match tolerance 0.25 and no skip", r)
+	}
+	r = g.resolve("BenchmarkCoalescedServiceSweep/service-nocoalesce")
+	if !r.skipTime {
+		t.Errorf("resolve = %+v, want the second entry's skip_time", r)
+	}
+	r = g.resolve("BenchmarkOther")
+	if r.timeTol != 0.10 || r.skipTime {
+		t.Errorf("resolve = %+v, want the default", r)
+	}
+}

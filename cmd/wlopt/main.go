@@ -75,7 +75,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer ev.Close()
+	// A bare `defer ev.Close()` would swallow a sticky durability
+	// failure: with -state, results are only trustworthy if the
+	// write-ahead log closed cleanly, so a failed store must surface at
+	// exit with a non-zero status — on the success path, on optimiser
+	// errors, and on the SIGINT/SIGTERM path through fail below.
+	defer func() {
+		if err := ev.Close(); err != nil {
+			log.Fatalf("state store: %v", err)
+		}
+	}()
+	fail := func(err error) {
+		if cerr := ev.Close(); cerr != nil {
+			log.Printf("state store: %v", cerr)
+		}
+		cli.Fail(err)
+	}
 	if *stateDir != "" && ev.Store().Len() > 0 {
 		fmt.Printf("resumed        : %d simulated configurations from %s\n", ev.Store().Len(), *stateDir)
 	}
@@ -98,7 +113,7 @@ func main() {
 			Bounds:    sp.Bounds,
 		})
 		if err != nil {
-			cli.Fail(err)
+			fail(err)
 		}
 		fmt.Printf("wmin           : %v\n", res.WMin)
 		wres, lambda, evaluations = res.WRes, res.Lambda, res.Evaluations
@@ -108,7 +123,7 @@ func main() {
 			Bounds:    sp.Bounds,
 		})
 		if err != nil {
-			cli.Fail(err)
+			fail(err)
 		}
 		wres, lambda, evaluations = res.WRes, res.Lambda, res.Evaluations
 	case "anneal":
@@ -118,7 +133,7 @@ func main() {
 			Seed:      common.Seed,
 		})
 		if err != nil {
-			cli.Fail(err)
+			fail(err)
 		}
 		wres, lambda, evaluations = res.Best, res.Lambda, res.Evaluations
 	case "ga":
@@ -128,7 +143,7 @@ func main() {
 			Seed:      common.Seed,
 		})
 		if err != nil {
-			cli.Fail(err)
+			fail(err)
 		}
 		wres, lambda, evaluations = res.Best, res.Lambda, res.Evaluations
 	default:
@@ -147,7 +162,7 @@ func main() {
 			// unrefined result rather than aborting.
 			fmt.Fprintln(os.Stderr, "wlopt: local search skipped (incumbent re-evaluated at the constraint boundary)")
 		case err != nil:
-			cli.Fail(err)
+			fail(err)
 		default:
 			wres, lambda = res.W, res.Lambda
 			evaluations += res.Evaluations

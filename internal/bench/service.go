@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/evaluator"
+	"repro/internal/httpapi"
+	"repro/internal/optim"
+	"repro/internal/space"
+)
+
+// ServiceOptions configures ServiceSweep, the end-to-end load test of
+// the evald HTTP service.
+type ServiceOptions struct {
+	// Tenants is K, the number of concurrent HTTP clients, each running
+	// its own min+1 optimisation; zero selects 64. The min+1 walk is
+	// deterministic, so the K trajectories collide completely — the
+	// many-users-same-workload regime the coalescing table exists for.
+	Tenants int
+	// Nv is the configuration dimensionality; zero selects 3.
+	Nv int
+	// MaxWL is the upper word-length bound; zero selects 6.
+	MaxWL int
+	// SimLatency is the synthetic cost of one simulation; zero selects
+	// 2ms.
+	SimLatency time.Duration
+	// SimCapacity bounds the simulations running at once across the
+	// whole service — the model of finite simulation hardware. Zero
+	// selects 1.
+	SimCapacity int
+	// LambdaMin is the accuracy constraint; zero selects -1e-4.
+	LambdaMin float64
+	// DisableCoalescing turns the single-flight table off — the
+	// ablation baseline (tenants still share the store).
+	DisableCoalescing bool
+	// Auth, when true, provisions one API key per tenant so every
+	// request pays the authentication middleware too.
+	Auth bool
+}
+
+func (o *ServiceOptions) defaults() {
+	if o.Tenants == 0 {
+		o.Tenants = 64
+	}
+	if o.Nv == 0 {
+		o.Nv = 3
+	}
+	if o.MaxWL == 0 {
+		o.MaxWL = 6
+	}
+	if o.SimLatency == 0 {
+		o.SimLatency = 2 * time.Millisecond
+	}
+	if o.SimCapacity == 0 {
+		o.SimCapacity = 1
+	}
+	if o.LambdaMin == 0 {
+		o.LambdaMin = -1e-4
+	}
+}
+
+// ServiceResult is one ServiceSweep measurement.
+type ServiceResult struct {
+	Tenants     int
+	Elapsed     time.Duration  // wall-clock of the whole fleet
+	Requests    int            // HTTP evaluate requests issued
+	Simulations int            // simulator runs (evaluator NSim)
+	Coalesced   int            // requests served as coalesced followers
+	Distinct    int            // distinct configurations in the store
+	WRes        []space.Config // per-tenant optimisation results
+}
+
+// serviceOracle drives one tenant's optimiser over the HTTP API: every
+// Evaluate is one POST /v1/evaluate round-trip, authenticated as the
+// tenant and cancelled with ctx.
+type serviceOracle struct {
+	client   *http.Client
+	url      string
+	key      string
+	requests *atomic.Int64
+}
+
+func (o *serviceOracle) Evaluate(ctx context.Context, cfg space.Config) (float64, error) {
+	body, err := json.Marshal(struct {
+		Config []int `json:"config"`
+	}{Config: cfg})
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, o.url+"/v1/evaluate", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if o.key != "" {
+		req.Header.Set("Authorization", "Bearer "+o.key)
+	}
+	o.requests.Add(1)
+	resp, err := o.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("evaluate: %s: %s", resp.Status, raw)
+	}
+	var out struct {
+		Lambda float64 `json:"lambda"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return 0, err
+	}
+	return out.Lambda, nil
+}
+
+// ServiceSweep hammers an in-process evald service with K concurrent
+// tenants whose min+1 trajectories collide completely, over real HTTP
+// (httptest server, pooled connections), against capacity-bounded
+// simulation hardware. It measures the end-to-end wall-clock of the
+// fleet and the simulations actually paid — with coalescing on, every
+// distinct configuration costs ONE simulation no matter how many tenants
+// ask for it at once; the DisableCoalescing baseline pays for every
+// concurrent duplicate.
+func ServiceSweep(ctx context.Context, opts ServiceOptions) (ServiceResult, error) {
+	opts.defaults()
+	res := ServiceResult{Tenants: opts.Tenants}
+	sim := tenantSim(opts.Nv, opts.SimLatency, opts.SimCapacity)
+	ev, err := evaluator.New(sim, evaluator.Options{DisableCoalescing: opts.DisableCoalescing})
+	if err != nil {
+		return res, err
+	}
+	defer ev.Close()
+
+	bounds := space.UniformBounds(opts.Nv, 2, opts.MaxWL)
+	srvOpts := httpapi.Options{
+		Evaluator: ev,
+		Bounds:    &bounds,
+		Logger:    slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}
+	keys := make([]string, opts.Tenants)
+	if opts.Auth {
+		for i := range keys {
+			keys[i] = fmt.Sprintf("tenant-%d-key", i)
+			srvOpts.Tenants = append(srvOpts.Tenants, httpapi.Tenant{
+				Name: fmt.Sprintf("tenant-%d", i), Key: keys[i],
+			})
+		}
+	}
+	ts := httptest.NewServer(httpapi.New(srvOpts).Handler())
+	defer ts.Close()
+
+	// One pooled transport for the whole fleet: K tenants keep K
+	// connections alive instead of re-dialling per request.
+	transport := &http.Transport{
+		MaxIdleConns:        opts.Tenants + 8,
+		MaxIdleConnsPerHost: opts.Tenants + 8,
+	}
+	defer transport.CloseIdleConnections()
+	client := &http.Client{Transport: transport}
+
+	var requests atomic.Int64
+	res.WRes = make([]space.Config, opts.Tenants)
+	errs := make([]error, opts.Tenants)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < opts.Tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			oracle := &serviceOracle{client: client, url: ts.URL, key: keys[i], requests: &requests}
+			r, err := optim.MinPlusOne(ctx, oracle, optim.MinPlusOneOptions{
+				LambdaMin: opts.LambdaMin,
+				Bounds:    bounds,
+			})
+			res.WRes[i], errs[i] = r.WRes, err
+		}(i)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+	st := ev.Stats()
+	res.Requests = int(requests.Load())
+	res.Simulations = st.NSim
+	res.Coalesced = st.NCoalesced
+	res.Distinct = ev.Store().Len()
+	return res, nil
+}

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestServiceSweepCoalescing pins the deterministic half of the HTTP
+// load test: K colliding tenants over the service cost exactly one
+// simulation per distinct configuration when coalescing is on, every
+// tenant converges to the same word-length vector, and the baseline
+// demonstrably pays for concurrent duplicates.
+func TestServiceSweepCoalescing(t *testing.T) {
+	opts := ServiceOptions{
+		Tenants:    16,
+		Nv:         2,
+		MaxWL:      6,
+		SimLatency: time.Millisecond,
+		Auth:       true,
+	}
+	ctx := context.Background()
+	rs, err := ServiceSweep(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Simulations != rs.Distinct {
+		t.Errorf("coalesced: %d simulations for %d distinct configurations, want equal",
+			rs.Simulations, rs.Distinct)
+	}
+	if rs.Coalesced == 0 {
+		t.Error("coalesced: no request reported as a coalesced follower")
+	}
+	if rs.Requests < rs.Tenants {
+		t.Errorf("only %d HTTP requests for %d tenants", rs.Requests, rs.Tenants)
+	}
+	for i := 1; i < len(rs.WRes); i++ {
+		if !rs.WRes[i].Equal(rs.WRes[0]) {
+			t.Errorf("tenant %d result %v != tenant 0 result %v", i, rs.WRes[i], rs.WRes[0])
+		}
+	}
+
+	opts.DisableCoalescing = true
+	rn, err := ServiceSweep(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn.Distinct != rs.Distinct {
+		t.Errorf("distinct sets diverge: %d (no-coalesce) vs %d (coalesced)", rn.Distinct, rs.Distinct)
+	}
+	if rn.Simulations <= rn.Distinct {
+		t.Errorf("no-coalesce: %d simulations for %d distinct configurations, want duplicated work",
+			rn.Simulations, rn.Distinct)
+	}
+}
+
+// TestServiceSweepSpeedup measures the PR acceptance criterion at the
+// full K = 64 scale: coalescing must win at least 2x in wall-clock and
+// 4x in simulations against the DisableCoalescing baseline, over real
+// HTTP, on a capacity-bounded simulator.
+func TestServiceSweepSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement; skipped under -short")
+	}
+	opts := ServiceOptions{
+		Tenants:    64,
+		Nv:         3,
+		MaxWL:      6,
+		SimLatency: 2 * time.Millisecond,
+	}
+	ctx := context.Background()
+	rs, err := ServiceSweep(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.DisableCoalescing = true
+	rn, err := ServiceSweep(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(rn.Elapsed) / float64(rs.Elapsed)
+	simRatio := float64(rn.Simulations) / float64(rs.Simulations)
+	t.Logf("coalesced:   %v, %d sims, %d coalesced, %d distinct, %d requests",
+		rs.Elapsed.Round(time.Millisecond), rs.Simulations, rs.Coalesced, rs.Distinct, rs.Requests)
+	t.Logf("no-coalesce: %v, %d sims, %d distinct, %d requests",
+		rn.Elapsed.Round(time.Millisecond), rn.Simulations, rn.Distinct, rn.Requests)
+	t.Logf("speedup %.1fx wall-clock, %.1fx sims", speedup, simRatio)
+	if speedup < 2 {
+		t.Errorf("wall-clock speedup %.2fx below the 2x acceptance floor", speedup)
+	}
+	if simRatio < 4 {
+		t.Errorf("simulation ratio %.2fx below the 4x acceptance floor", simRatio)
+	}
+}
+
+// BenchmarkCoalescedServiceSweep is the bench-smoke view of the service
+// scenario: K = 64 colliding tenants over HTTP, capacity-bounded
+// simulator, with coalescing on (service) and off (service-nocoalesce).
+// sims/op counts the simulations paid per fleet run; ns/op is the
+// end-to-end wall-clock. The coalescing win across the two sub-benchmarks
+// is the headline number of the evald service.
+func BenchmarkCoalescedServiceSweep(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"service", false}, {"service-nocoalesce", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			sims, coalesced, requests := 0, 0, 0
+			for i := 0; i < b.N; i++ {
+				res, err := ServiceSweep(context.Background(), ServiceOptions{
+					Tenants:           64,
+					Nv:                3,
+					MaxWL:             6,
+					SimLatency:        2 * time.Millisecond,
+					DisableCoalescing: mode.disable,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sims += res.Simulations
+				coalesced += res.Coalesced
+				requests += res.Requests
+			}
+			b.ReportMetric(float64(sims)/float64(b.N), "sims/op")
+			b.ReportMetric(float64(coalesced)/float64(b.N), "coalesced/op")
+			b.ReportMetric(float64(requests)/float64(b.N), "reqs/op")
+		})
+	}
+}

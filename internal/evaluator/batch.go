@@ -116,13 +116,13 @@ func (e *Evaluator) EvaluateAllContext(ctx context.Context, cfgs []space.Config,
 				// single-flight table (identical misses inside the batch,
 				// in sibling batches, or in live sessions share one run);
 				// the store insert is deferred to the batch commit below.
-				lam, err := e.simulateShared(ctx, cfg, &batchStats, nil, false)
+				lam, coalesced, err := e.simulateShared(ctx, cfg, &batchStats, nil, false)
 				if err != nil {
 					errs[idx] = err
 					failed.Store(true)
 					continue
 				}
-				results[idx] = Result{Lambda: lam, Source: Simulated}
+				results[idx] = Result{Lambda: lam, Source: Simulated, Coalesced: coalesced}
 				simulated[idx] = true
 			}
 		}()

@@ -43,11 +43,22 @@ type inflight struct {
 	enabled bool
 	mu      sync.Mutex
 	m       map[uint64]*flight
+	// n counts the live flights (the map holds bucket chains, so its own
+	// length undercounts under collisions); it backs the service-facing
+	// in-flight gauge.
+	n int
 	// pool recycles flights that resolved without ever gaining a
 	// follower — the steady-state miss pattern — so the uncontended path
 	// allocates no flight either. A flight that had followers is left to
 	// the GC: they still read its outcome after resolve.
 	pool sync.Pool
+}
+
+// size returns the number of simulations currently in flight.
+func (t *inflight) size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
 }
 
 func newInflight(enabled bool) inflight {
@@ -77,6 +88,7 @@ func (t *inflight) acquire(hash uint64, cfg space.Config) (f *flight, owner bool
 	f.cfg = cfg
 	f.next = t.m[hash]
 	t.m[hash] = f
+	t.n++
 	return f, true
 }
 
@@ -103,6 +115,7 @@ func (t *inflight) resolve(hash uint64, f *flight, lam float64, err error) {
 		} else {
 			prev.next = g.next
 		}
+		t.n--
 		break
 	}
 	done := f.done
@@ -137,15 +150,19 @@ func (t *inflight) resolve(hash uint64, f *flight, lam float64, err error) {
 // becoming the new owner. A follower whose own context dies while
 // waiting returns ctx.Err() immediately and leaves the flight running
 // for the remaining waiters.
-func (e *Evaluator) simulateShared(ctx context.Context, cfg space.Config, stats *counters, sem chan struct{}, insertNow bool) (float64, error) {
+// The second return value reports whether this caller was a coalesced
+// follower — served by another request's simulation instead of its own.
+func (e *Evaluator) simulateShared(ctx context.Context, cfg space.Config, stats *counters, sem chan struct{}, insertNow bool) (float64, bool, error) {
 	if !e.flights.enabled {
-		return e.simulateOwned(ctx, cfg, stats, sem, insertNow, 0, nil)
+		lam, err := e.simulateOwned(ctx, cfg, stats, sem, insertNow, 0, nil)
+		return lam, false, err
 	}
 	hash := store.HashConfig(cfg)
 	for {
 		f, owner := e.flights.acquire(hash, cfg)
 		if owner {
-			return e.simulateOwned(ctx, cfg, stats, sem, insertNow, hash, f)
+			lam, err := e.simulateOwned(ctx, cfg, stats, sem, insertNow, hash, f)
+			return lam, false, err
 		}
 		select {
 		case <-f.done:
@@ -153,7 +170,7 @@ func (e *Evaluator) simulateShared(ctx context.Context, cfg space.Config, stats 
 				if isContextError(f.err) && ctx.Err() == nil {
 					continue // the owner was cancelled, we were not: retry
 				}
-				return 0, f.err
+				return 0, false, f.err
 			}
 			if insertNow && !f.stored {
 				// The owner was a batch worker whose store insert is
@@ -166,13 +183,14 @@ func (e *Evaluator) simulateShared(ctx context.Context, cfg space.Config, stats 
 						// Durable store gone fail-stop: the value exists but
 						// can no longer be backed by the store, so do not
 						// hand it out as if it were.
-						return 0, serr
+						return 0, false, serr
 					}
 				}
 			}
-			return f.lam, nil
+			stats.nCoalesced.Add(1)
+			return f.lam, true, nil
 		case <-ctx.Done():
-			return 0, ctx.Err()
+			return 0, false, ctx.Err()
 		}
 	}
 }
@@ -257,6 +275,15 @@ func (e *Evaluator) Engine(maxSims int) *Engine {
 
 // Evaluator returns the engine's underlying evaluator.
 func (g *Engine) Evaluator() *Evaluator { return g.ev }
+
+// MaxSims returns the admission bound the engine was built with; zero
+// means unbounded.
+func (g *Engine) MaxSims() int { return cap(g.sem) }
+
+// ActiveSims returns the number of admission slots currently held by
+// simulating flight owners (always zero on an unbounded engine). It is a
+// point-in-time gauge for service monitoring, not a synchronised count.
+func (g *Engine) ActiveSims() int { return len(g.sem) }
 
 // Future is the pending result of one submitted query.
 type Future struct {

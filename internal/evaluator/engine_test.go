@@ -148,22 +148,39 @@ func TestCoalescingSingleSimulation(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
+	coalesced := 0
 	for i := 0; i < n; i++ {
 		if errs[i] != nil {
 			t.Fatalf("query %d: %v", i, errs[i])
 		}
-		if results[i] != results[0] {
-			t.Errorf("query %d result %+v != %+v", i, results[i], results[0])
+		if results[i].Lambda != results[0].Lambda {
+			t.Errorf("query %d lambda %v != %v", i, results[i].Lambda, results[0].Lambda)
 		}
 		if results[i].Source != Simulated {
 			t.Errorf("query %d source = %v", i, results[i].Source)
+		}
+		if results[i].Coalesced {
+			coalesced++
 		}
 	}
 	if c := calls.Load(); c != 1 {
 		t.Errorf("simulator ran %d times, want 1", c)
 	}
-	if st := ev.Stats(); st.NSim != 1 {
+	// Every query but the flight owner was served as a follower (a late
+	// arrival could in principle exact-hit the store instead, but all n
+	// goroutines are in flight well inside the 50ms simulation).
+	if coalesced == 0 {
+		t.Error("no query reported Coalesced")
+	}
+	st := ev.Stats()
+	if st.NSim != 1 {
 		t.Errorf("NSim = %d, want 1", st.NSim)
+	}
+	if st.NCoalesced != coalesced {
+		t.Errorf("NCoalesced = %d, want %d (the followers observed)", st.NCoalesced, coalesced)
+	}
+	if ev.InFlight() != 0 {
+		t.Errorf("InFlight = %d after all queries returned, want 0", ev.InFlight())
 	}
 	if ev.Store().Len() != 1 {
 		t.Errorf("store has %d entries, want 1", ev.Store().Len())

@@ -215,6 +215,11 @@ type Result struct {
 	Lambda    float64
 	Source    Source
 	Neighbors int // support size used when interpolated (the paper's j)
+	// Coalesced reports that this query was served by another request's
+	// in-flight simulation through the single-flight table — it paid no
+	// simulation of its own. Always false for exact hits, interpolations
+	// and flight owners.
+	Coalesced bool
 }
 
 // Evaluator is the kriging-accelerated metric evaluator. It is safe for
@@ -310,6 +315,11 @@ func (e *Evaluator) Preload(entries []store.Entry) int {
 // exact once they have returned.
 func (e *Evaluator) Stats() Stats { return e.stats.snapshot() }
 
+// InFlight returns the number of simulations currently registered in the
+// single-flight table — a point-in-time gauge of distinct configurations
+// being simulated right now (always zero with coalescing disabled).
+func (e *Evaluator) InFlight() int { return e.flights.size() }
+
 // ResetStats zeroes the activity counters without clearing the store.
 func (e *Evaluator) ResetStats() { e.stats.reset() }
 
@@ -358,11 +368,11 @@ func (e *Evaluator) evaluateLive(ctx context.Context, cfg space.Config, sem chan
 	if ok {
 		return res, nil
 	}
-	lam, err := e.simulateShared(ctx, cfg, &e.stats, sem, true)
+	lam, coalesced, err := e.simulateShared(ctx, cfg, &e.stats, sem, true)
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Lambda: lam, Source: Simulated}, nil
+	return Result{Lambda: lam, Source: Simulated, Coalesced: coalesced}, nil
 }
 
 // rawSimulate runs one (uncoalesced) simulation, charging the wall time

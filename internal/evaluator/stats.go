@@ -14,6 +14,12 @@ type Stats struct {
 	SumNeigh int // total support points over all interpolations
 	// NVarRejected counts interpolations rejected by variance gating.
 	NVarRejected int
+	// NCoalesced counts queries served as coalesced followers of another
+	// request's in-flight simulation: answers that would each have cost a
+	// full simulation without the single-flight table. Followers are not
+	// counted in NSim (the owner's one simulation is), so the total work
+	// avoided by coalescing is exactly NCoalesced simulations.
+	NCoalesced int
 	// SimTime and InterpTime accumulate the per-call durations spent in
 	// the simulator and in kriging respectively. Under EvaluateAll the
 	// per-call simulator durations are summed across workers, so
@@ -74,6 +80,7 @@ type counters struct {
 	nInterp      atomic.Int64
 	sumNeigh     atomic.Int64
 	nVarRejected atomic.Int64
+	nCoalesced   atomic.Int64
 	simTime      atomic.Int64 // nanoseconds
 	interpTime   atomic.Int64 // nanoseconds
 }
@@ -87,6 +94,7 @@ func (c *counters) snapshot() Stats {
 		NInterp:      int(c.nInterp.Load()),
 		SumNeigh:     int(c.sumNeigh.Load()),
 		NVarRejected: int(c.nVarRejected.Load()),
+		NCoalesced:   int(c.nCoalesced.Load()),
 		SimTime:      time.Duration(c.simTime.Load()),
 		InterpTime:   time.Duration(c.interpTime.Load()),
 	}
@@ -100,6 +108,7 @@ func (c *counters) merge(o *counters) {
 	c.nInterp.Add(o.nInterp.Load())
 	c.sumNeigh.Add(o.sumNeigh.Load())
 	c.nVarRejected.Add(o.nVarRejected.Load())
+	c.nCoalesced.Add(o.nCoalesced.Load())
 	c.simTime.Add(o.simTime.Load())
 	c.interpTime.Add(o.interpTime.Load())
 }
@@ -110,6 +119,7 @@ func (c *counters) reset() {
 	c.nInterp.Store(0)
 	c.sumNeigh.Store(0)
 	c.nVarRejected.Store(0)
+	c.nCoalesced.Store(0)
 	c.simTime.Store(0)
 	c.interpTime.Store(0)
 }

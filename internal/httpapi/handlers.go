@@ -1,0 +1,266 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/evaluator"
+	"repro/internal/space"
+)
+
+// evaluateRequest is the body of POST /v1/evaluate.
+type evaluateRequest struct {
+	// Config is the integer configuration vector to evaluate.
+	Config []int `json:"config"`
+	// TimeoutMS, when positive, bounds this request: the deadline is
+	// mapped onto the query context, so an expired request cancels its
+	// own (un-shared) simulation and returns 504.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// evaluateResponse mirrors evaluator.Result.
+type evaluateResponse struct {
+	Lambda    float64 `json:"lambda"`
+	Source    string  `json:"source"`
+	Neighbors int     `json:"neighbors,omitempty"`
+	// Coalesced marks a simulated answer that shared another request's
+	// in-flight simulation instead of paying its own.
+	Coalesced bool `json:"coalesced,omitempty"`
+}
+
+// batchRequest is the body of POST /v1/batch.
+type batchRequest struct {
+	Configs   [][]int `json:"configs"`
+	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+}
+
+// batchResponse carries the input-ordered results of a whole batch.
+type batchResponse struct {
+	Results []evaluateResponse `json:"results"`
+}
+
+// statsResponse is the body of GET /v1/stats: the evaluator's activity
+// counters plus the live service gauges.
+type statsResponse struct {
+	NSim                int     `json:"nsim"`
+	NInterp             int     `json:"ninterp"`
+	NCoalesced          int     `json:"ncoalesced"`
+	NVarRejected        int     `json:"nvar_rejected"`
+	PercentInterpolated float64 `json:"percent_interpolated"`
+	MeanNeighbors       float64 `json:"mean_neighbors"`
+	SimTimeMS           float64 `json:"sim_time_ms"`
+	InterpTimeMS        float64 `json:"interp_time_ms"`
+	EstimatedSpeedup    float64 `json:"estimated_speedup"`
+	StoreLen            int     `json:"store_len"`
+	InFlight            int     `json:"inflight"`
+	ActiveSims          int     `json:"active_sims"`
+	MaxSims             int     `json:"max_sims"`
+	Draining            bool    `json:"draining"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// decode parses a JSON body with unknown fields rejected and a 1 MiB
+// cap, answering 400 (or 413) itself when the body is malformed.
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body over 1 MiB")
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "malformed JSON body: "+err.Error())
+		return false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "trailing data after JSON body")
+		return false
+	}
+	return true
+}
+
+// requestContext maps the request-scoped deadline onto a context: the
+// body's timeout_ms wins, then the server default; zero means the
+// connection context alone governs the request.
+func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.defaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// checkConfig validates one configuration against the evaluator's
+// dimensionality and (when configured) the benchmark's search box.
+func (s *Server) checkConfig(c space.Config) error {
+	if len(c) != s.ev.Nv() {
+		return fmt.Errorf("config has %d variables, want %d", len(c), s.ev.Nv())
+	}
+	if s.bounds != nil && !s.bounds.Contains(c) {
+		return fmt.Errorf("config %v outside bounds [%v, %v]", c, s.bounds.Lo, s.bounds.Hi)
+	}
+	return nil
+}
+
+// errStatus maps an evaluation error onto its HTTP status.
+func errStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "evaluation deadline exceeded"
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is for the log only.
+		return 499, "request cancelled"
+	default:
+		// The simulator (the upstream the service fronts) failed, or the
+		// durable store went fail-stop.
+		return http.StatusBadGateway, err.Error()
+	}
+}
+
+func toResponse(res evaluator.Result) evaluateResponse {
+	return evaluateResponse{
+		Lambda:    res.Lambda,
+		Source:    res.Source.String(),
+		Neighbors: res.Neighbors,
+		Coalesced: res.Coalesced,
+	}
+}
+
+// handleEvaluate answers POST /v1/evaluate: one configuration through
+// the session engine — exact hit, kriged interpolation, or a coalesced,
+// admission-bounded simulation.
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req evaluateRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	cfg := space.Config(req.Config)
+	if err := s.checkConfig(cfg); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	res, err := s.engine.Evaluate(ctx, cfg)
+	if err != nil {
+		status, msg := errStatus(err)
+		writeError(w, status, msg)
+		return
+	}
+	if info := infoFrom(r.Context()); info != nil && res.Source == evaluator.Simulated {
+		info.coalesced, info.hasCoal = res.Coalesced, true
+	}
+	writeJSON(w, http.StatusOK, toResponse(res))
+}
+
+// handleBatch answers POST /v1/batch with EvaluateAllContext semantics:
+// the whole batch runs on the server's worker pool against one store
+// snapshot, succeeds or fails as a unit, and returns results in input
+// order.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Configs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Configs) > s.maxBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d configs over the %d limit", len(req.Configs), s.maxBatch))
+		return
+	}
+	cfgs := make([]space.Config, len(req.Configs))
+	for i, c := range req.Configs {
+		cfgs[i] = space.Config(c)
+		if err := s.checkConfig(cfgs[i]); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("config %d: %v", i, err))
+			return
+		}
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	results, err := s.ev.EvaluateAllContext(ctx, cfgs, s.workers)
+	if err != nil {
+		status, msg := errStatus(err)
+		writeError(w, status, msg)
+		return
+	}
+	resp := batchResponse{Results: make([]evaluateResponse, len(results))}
+	coalesced := false
+	for i, res := range results {
+		resp.Results[i] = toResponse(res)
+		coalesced = coalesced || res.Coalesced
+	}
+	if info := infoFrom(r.Context()); info != nil {
+		info.coalesced, info.hasCoal = coalesced, true
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleStats answers GET /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.ev.Stats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		NSim:                st.NSim,
+		NInterp:             st.NInterp,
+		NCoalesced:          st.NCoalesced,
+		NVarRejected:        st.NVarRejected,
+		PercentInterpolated: st.PercentInterpolated(),
+		MeanNeighbors:       st.MeanNeighbors(),
+		SimTimeMS:           float64(st.SimTime) / float64(time.Millisecond),
+		InterpTimeMS:        float64(st.InterpTime) / float64(time.Millisecond),
+		EstimatedSpeedup:    st.EstimatedSpeedup(),
+		StoreLen:            s.ev.Store().Len(),
+		InFlight:            s.ev.InFlight(),
+		ActiveSims:          s.engine.ActiveSims(),
+		MaxSims:             s.engine.MaxSims(),
+		Draining:            s.draining.Load(),
+	})
+}
+
+// handleHealthz reports process liveness: 200 whenever the server can
+// run a handler at all, draining included (the process is alive while it
+// finishes its work).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz reports readiness to take new work: 503 once draining has
+// begun or after the durable store's sticky failure — either way the
+// load balancer should route elsewhere.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if err := s.ev.Err(); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "state store failed: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}

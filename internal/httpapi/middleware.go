@@ -1,0 +1,191 @@
+package httpapi
+
+import (
+	"context"
+	"crypto/subtle"
+	"net/http"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// reqInfo is the per-request annotation record the handlers fill in and
+// the logging middleware reports: which tenant ran the request and
+// whether its simulation was coalesced onto another request's flight.
+type reqInfo struct {
+	tenant    string
+	coalesced bool
+	hasCoal   bool // coalesced is only meaningful on simulated answers
+}
+
+type reqInfoKey struct{}
+
+func infoFrom(ctx context.Context) *reqInfo {
+	info, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
+	return info
+}
+
+// statusWriter captures the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// api assembles the middleware stack of one API route, outermost first:
+// panic recovery, request logging, the drain gate, method dispatch,
+// API-key authentication and the tenant's concurrency quota.
+func (s *Server) api(method string, h http.HandlerFunc) http.Handler {
+	return s.recoverPanics(s.logRequests(s.drainGate(s.allowMethod(method, s.authenticate(s.withQuota(h))))))
+}
+
+// recoverPanics turns a handler panic into a 500 instead of tearing down
+// the whole connection (and, under http.Server semantics, leaving the
+// client with an aborted response).
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.logger.Error("panic in handler",
+					"path", r.URL.Path, "panic", rec, "stack", string(debug.Stack()))
+				writeError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// logRequests emits one structured line per request: method, path,
+// status, latency, tenant, and — for simulated answers — whether the
+// request coalesced onto another request's simulation.
+func (s *Server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		info := &reqInfo{tenant: "anonymous"}
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, info)))
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		attrs := []any{
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"latency", time.Since(start),
+			"tenant", info.tenant,
+		}
+		if info.hasCoal {
+			attrs = append(attrs, "coalesced", info.coalesced)
+		}
+		s.logger.Info("request", attrs...)
+	})
+}
+
+// drainGate refuses new API work once the server is draining; requests
+// already past the gate run to completion under http.Server.Shutdown.
+func (s *Server) drainGate(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// allowMethod rejects every verb but the route's own with 405.
+func (s *Server) allowMethod(method string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			writeError(w, http.StatusMethodNotAllowed, "method not allowed")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// authenticate resolves the API key (Authorization: Bearer or X-API-Key)
+// to a tenant. With an empty tenant table authentication is disabled and
+// every request runs as "anonymous".
+func (s *Server) authenticate(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.anonymous {
+			next.ServeHTTP(w, r)
+			return
+		}
+		key := apiKey(r)
+		if key == "" {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="evald"`)
+			writeError(w, http.StatusUnauthorized, "missing API key")
+			return
+		}
+		// Linear scan with constant-time compares: tenant tables are
+		// small, and this leaks no key-prefix timing.
+		var tenant *tenantState
+		for _, t := range s.tenants {
+			if subtle.ConstantTimeCompare([]byte(t.Key), []byte(key)) == 1 {
+				tenant = t
+				break
+			}
+		}
+		if tenant == nil {
+			writeError(w, http.StatusUnauthorized, "invalid API key")
+			return
+		}
+		if info := infoFrom(r.Context()); info != nil {
+			info.tenant = tenant.Name
+		}
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), tenantKey{}, tenant)))
+	})
+}
+
+type tenantKey struct{}
+
+// apiKey extracts the client credential from the request.
+func apiKey(r *http.Request) string {
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		if rest, ok := strings.CutPrefix(auth, "Bearer "); ok {
+			return strings.TrimSpace(rest)
+		}
+		return ""
+	}
+	return strings.TrimSpace(r.Header.Get("X-API-Key"))
+}
+
+// withQuota holds one of the tenant's concurrent-request slots for the
+// duration of the handler. A tenant at its quota is refused immediately
+// with 429 — admission control degrades one noisy tenant, not the
+// service.
+func (s *Server) withQuota(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tenant, _ := r.Context().Value(tenantKey{}).(*tenantState)
+		if tenant == nil || tenant.slots == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case tenant.slots <- struct{}{}:
+			defer func() { <-tenant.slots }()
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "tenant quota exhausted")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -7,7 +7,7 @@
 set -eu
 
 fail=0
-for doc in docs/ARCHITECTURE.md README.md; do
+for doc in docs/ARCHITECTURE.md docs/DEPLOYMENT.md README.md; do
     if [ ! -f "$doc" ]; then
         echo "missing $doc"
         fail=1
