@@ -14,7 +14,12 @@ import (
 // pool: each worker runs whole queries — exact-hit lookup, interpolation
 // decision, kriging, and (when needed) the simulation — so the
 // simulator's latency AND the kriging linear algebra scale across cores.
-// It is the background-context form of EvaluateAllContext.
+// Before the workers start, a pre-pass detects batch members whose
+// neighbourhood search resolves the same support and answers each such
+// group through one blocked multi-RHS kriging solve (see BatchPredictor
+// and Options.DisableBatchPredict); answers are bit-identical to the
+// per-query path. It is the background-context form of
+// EvaluateAllContext.
 //
 // The batch semantics match issuing the queries one at a time EXCEPT that
 // no query in the batch observes another batch member — neither as an
@@ -86,6 +91,17 @@ func (e *Evaluator) EvaluateAllContext(ctx context.Context, cfgs []space.Config,
 		// them.
 		batchStats counters
 	)
+	// Shared-support pre-pass: batch members whose neighbourhood search
+	// resolves the same support (a min+1/max-1 competition round) are
+	// answered through one blocked kriging solve per group before the
+	// workers start; exact hits are answered too, and queries known to
+	// need simulation are marked so workers skip the redundant decision.
+	// Answers are bit-identical to the per-query path (the BatchPredictor
+	// contract), so this changes cost, not results.
+	var resolved, needsSim []bool
+	if len(cfgs) > 1 {
+		resolved, needsSim = e.batchPredictPrepass(ctx, snap, cfgs, results, &batchStats)
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -107,10 +123,15 @@ func (e *Evaluator) EvaluateAllContext(ctx context.Context, cfgs []space.Config,
 				if idx >= len(cfgs) {
 					return
 				}
+				if resolved != nil && resolved[idx] {
+					continue // answered by the pre-pass
+				}
 				cfg := cfgs[idx]
-				if res, ok := e.answerFromStore(snap, cfg, &batchStats, qs); ok {
-					results[idx] = res
-					continue
+				if needsSim == nil || !needsSim[idx] {
+					if res, ok := e.answerFromStore(snap, cfg, &batchStats, qs); ok {
+						results[idx] = res
+						continue
+					}
 				}
 				// The simulation is coalesced through the evaluator-wide
 				// single-flight table (identical misses inside the batch,

@@ -141,6 +141,16 @@ type Options struct {
 	// kriges λ = -P directly (identity); the log-domain ablation uses a
 	// dB pair. Both must be set together.
 	Transform, Untransform func(float64) float64
+	// DisableBatchPredict turns off EvaluateAll's shared-support batch
+	// prediction: by default, batch queries whose neighbourhood search
+	// resolves the same support (same points, same order — the shape of a
+	// min+1/max-1 competition round) are answered through one blocked
+	// multi-RHS kriging solve when the interpolator implements
+	// BatchPredictor. Results are bit-identical either way (that is the
+	// BatchPredictor contract); the flag exists for ablation and
+	// bisection. Stats.NBatchPredict counts the queries the batch path
+	// served.
+	DisableBatchPredict bool
 	// DisableCoalescing turns off single-flight simulation coalescing:
 	// by default concurrent identical cache misses (several goroutines —
 	// optimiser instances, engine sessions, batch workers — asking for
@@ -409,8 +419,33 @@ func (e *Evaluator) answerFromStore(view storeView, cfg space.Config, stats *cou
 	if lam, ok := view.Lookup(cfg); ok {
 		return Result{Lambda: lam, Source: Simulated}, true
 	}
-	if e.opts.D <= 0 {
+	support, ok := e.gatherSupport(view, cfg, qs)
+	if !ok {
 		return Result{}, false
+	}
+	start := time.Now()
+	lam, err := e.interpolate(support, cfg, stats, qs)
+	stats.interpTime.Add(int64(time.Since(start)))
+	if err != nil {
+		// A degenerate kriging system (or a variance-gate rejection)
+		// falls back to simulation; the paper's flow has no failure path
+		// because its supports are well spread, but a robust library
+		// must not abort the optimisation run.
+		return Result{}, false
+	}
+	stats.nInterp.Add(1)
+	stats.sumNeigh.Add(int64(support.Len()))
+	return Result{Lambda: lam, Source: Interpolated, Neighbors: support.Len()}, true
+}
+
+// gatherSupport collects the kriging support of one query, or reports
+// ok=false when interpolation is off or the neighbourhood stays at or
+// below NnMin. It is shared by the per-query decision path and
+// EvaluateAll's shared-support pre-pass, so both resolve exactly the
+// same support (same points, same order) for the same view.
+func (e *Evaluator) gatherSupport(view storeView, cfg space.Config, qs *queryScratch) (*store.Neighborhood, bool) {
+	if e.opts.D <= 0 {
+		return nil, false
 	}
 	// With a support cap above the decision threshold — every practical
 	// configuration — the radius query is capped at the k nearest too:
@@ -431,7 +466,7 @@ func (e *Evaluator) answerFromStore(view storeView, cfg space.Config, stats *cou
 		view.NearestKInto(nb, cfg, d, k)
 	}
 	if nb.Len() <= e.opts.NnMin {
-		return Result{}, false
+		return nil, false
 	}
 	support := nb
 	if k == 0 {
@@ -439,19 +474,7 @@ func (e *Evaluator) answerFromStore(view storeView, cfg space.Config, stats *cou
 		// interpolation support (allocating, as before).
 		support = nb.NearestK(e.opts.MaxSupport)
 	}
-	start := time.Now()
-	lam, err := e.interpolate(support, cfg, stats, qs)
-	stats.interpTime.Add(int64(time.Since(start)))
-	if err != nil {
-		// A degenerate kriging system (or a variance-gate rejection)
-		// falls back to simulation; the paper's flow has no failure path
-		// because its supports are well spread, but a robust library
-		// must not abort the optimisation run.
-		return Result{}, false
-	}
-	stats.nInterp.Add(1)
-	stats.sumNeigh.Add(int64(support.Len()))
-	return Result{Lambda: lam, Source: Interpolated, Neighbors: support.Len()}, true
+	return support, true
 }
 
 // errVarianceGate marks a variance-gate rejection internally.

@@ -14,6 +14,10 @@ type Stats struct {
 	SumNeigh int // total support points over all interpolations
 	// NVarRejected counts interpolations rejected by variance gating.
 	NVarRejected int
+	// NBatchPredict counts the interpolations served through
+	// EvaluateAll's blocked shared-support batch path (always <=
+	// NInterp); NBatchPredict/NInterp is the batch-predict hit rate.
+	NBatchPredict int
 	// NCoalesced counts queries served as coalesced followers of another
 	// request's in-flight simulation: answers that would each have cost a
 	// full simulation without the single-flight table. Followers are not
@@ -80,6 +84,7 @@ type counters struct {
 	nInterp      atomic.Int64
 	sumNeigh     atomic.Int64
 	nVarRejected atomic.Int64
+	nBatchPred   atomic.Int64
 	nCoalesced   atomic.Int64
 	simTime      atomic.Int64 // nanoseconds
 	interpTime   atomic.Int64 // nanoseconds
@@ -90,13 +95,14 @@ type counters struct {
 // it is exact once the caller's evaluations have returned.
 func (c *counters) snapshot() Stats {
 	return Stats{
-		NSim:         int(c.nSim.Load()),
-		NInterp:      int(c.nInterp.Load()),
-		SumNeigh:     int(c.sumNeigh.Load()),
-		NVarRejected: int(c.nVarRejected.Load()),
-		NCoalesced:   int(c.nCoalesced.Load()),
-		SimTime:      time.Duration(c.simTime.Load()),
-		InterpTime:   time.Duration(c.interpTime.Load()),
+		NSim:          int(c.nSim.Load()),
+		NInterp:       int(c.nInterp.Load()),
+		SumNeigh:      int(c.sumNeigh.Load()),
+		NVarRejected:  int(c.nVarRejected.Load()),
+		NBatchPredict: int(c.nBatchPred.Load()),
+		NCoalesced:    int(c.nCoalesced.Load()),
+		SimTime:       time.Duration(c.simTime.Load()),
+		InterpTime:    time.Duration(c.interpTime.Load()),
 	}
 }
 
@@ -108,6 +114,7 @@ func (c *counters) merge(o *counters) {
 	c.nInterp.Add(o.nInterp.Load())
 	c.sumNeigh.Add(o.sumNeigh.Load())
 	c.nVarRejected.Add(o.nVarRejected.Load())
+	c.nBatchPred.Add(o.nBatchPred.Load())
 	c.nCoalesced.Add(o.nCoalesced.Load())
 	c.simTime.Add(o.simTime.Load())
 	c.interpTime.Add(o.interpTime.Load())
@@ -119,6 +126,7 @@ func (c *counters) reset() {
 	c.nInterp.Store(0)
 	c.sumNeigh.Store(0)
 	c.nVarRejected.Store(0)
+	c.nBatchPred.Store(0)
 	c.nCoalesced.Store(0)
 	c.simTime.Store(0)
 	c.interpTime.Store(0)

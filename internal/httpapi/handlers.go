@@ -46,9 +46,13 @@ type batchResponse struct {
 // statsResponse is the body of GET /v1/stats: the evaluator's activity
 // counters plus the live service gauges.
 type statsResponse struct {
-	NSim                int     `json:"nsim"`
-	NInterp             int     `json:"ninterp"`
-	NCoalesced          int     `json:"ncoalesced"`
+	NSim       int `json:"nsim"`
+	NInterp    int `json:"ninterp"`
+	NCoalesced int `json:"ncoalesced"`
+	// NBatchPredict is the number of interpolations served through the
+	// blocked shared-support batch path of POST /v1/batch (the batch
+	// hit rate is nbatch_predict / ninterp).
+	NBatchPredict       int     `json:"nbatch_predict"`
 	NVarRejected        int     `json:"nvar_rejected"`
 	PercentInterpolated float64 `json:"percent_interpolated"`
 	MeanNeighbors       float64 `json:"mean_neighbors"`
@@ -229,6 +233,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		NSim:                st.NSim,
 		NInterp:             st.NInterp,
 		NCoalesced:          st.NCoalesced,
+		NBatchPredict:       st.NBatchPredict,
 		NVarRejected:        st.NVarRejected,
 		PercentInterpolated: st.PercentInterpolated(),
 		MeanNeighbors:       st.MeanNeighbors(),

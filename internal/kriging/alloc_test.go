@@ -111,3 +111,55 @@ func TestAllocsLeaveOneOut(t *testing.T) {
 		t.Errorf("LeaveOneOut allocates %.2f per pass, want <= 2 (the reused fold buffers)", got)
 	}
 }
+
+// TestAllocsPredictBatchWarm is the batch analogue of the cache-hit
+// gates: a warm PredictBatch/PredictVarBatch against a cached factor
+// must be allocation-free regardless of K — all block scratch (RHS
+// block, weight block, permutation buffers) is pooled.
+func TestAllocsPredictBatchWarm(t *testing.T) {
+	skipUnderRace(t)
+	r := rng.New(23)
+	xs, ys := drawSupport(r, 20, 3)
+	const k = 64
+	queries := make([][]float64, k)
+	for j := range queries {
+		q := make([]float64, 3)
+		for i := range q {
+			q[i] = float64(r.IntRange(0, 14)) + r.NormScaled(0, 0.25)
+		}
+		queries[j] = q
+	}
+	out := make([]float64, k)
+	outVar := make([]float64, k)
+
+	o := &Ordinary{Model: &variogram.ExponentialModel{Sill: 30, Range: 6, Nugget: 0.1}}
+	if err := o.PredictBatch(xs, ys, queries, out); err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		if err := o.PredictBatch(xs, ys, queries, out); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 0 {
+		t.Errorf("warm Ordinary.PredictBatch (K=%d) allocates %.2f per run, want 0", k, got)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		if err := o.PredictVarBatch(xs, ys, queries, out, outVar); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 0 {
+		t.Errorf("warm Ordinary.PredictVarBatch (K=%d) allocates %.2f per run, want 0", k, got)
+	}
+
+	s := &Simple{Model: &variogram.ExponentialModel{Sill: 30, Range: 6, Nugget: 0.1}}
+	if err := s.PredictBatch(xs, ys, queries, out); err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		if err := s.PredictBatch(xs, ys, queries, out); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 0 {
+		t.Errorf("warm Simple.PredictBatch (K=%d) allocates %.2f per run, want 0", k, got)
+	}
+}

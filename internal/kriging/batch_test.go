@@ -1,0 +1,308 @@
+package kriging
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/variogram"
+)
+
+// batchModels returns the three fixed variogram families the property
+// wall crosses with every interpolator. Fresh instances per call so
+// cached systems never leak across interpolator configurations.
+func batchModels() []variogram.Model {
+	return []variogram.Model{
+		&variogram.LinearModel{Slope: 1.3, Nugget: 0.05},
+		&variogram.SphericalModel{Sill: 40, Range: 9, Nugget: 0.1},
+		&variogram.ExponentialModel{Sill: 25, Range: 6, Nugget: 0.1},
+	}
+}
+
+// bitEqual treats two floats as equal when their bit patterns match
+// (NaN == NaN for this purpose, which float comparison would miss).
+func bitEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// TestBatchMatchesSequentialPropertyWall is the batch-prediction
+// property wall: across 100 seeded supports × {ordinary, simple,
+// universal} × 3 variogram models × K ∈ {1, 2, 7, 64}, a blocked
+// PredictBatch (and PredictVarBatch for ordinary) must reproduce K
+// sequential Predict/PredictVar calls BIT FOR BIT — stronger than the
+// 1e-12 the acceptance criteria ask for. Queries deliberately include
+// exact support coincidences so the γ(h<=0) nugget branch is crossed.
+func TestBatchMatchesSequentialPropertyWall(t *testing.T) {
+	r := rng.New(701)
+	ks := []int{1, 2, 7, 64}
+	const maxK = 64
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + r.Intn(19)
+		dim := 2 + r.Intn(3)
+		xs, ys := drawSupport(r, n, dim)
+		queries := make([][]float64, maxK)
+		for j := range queries {
+			if j%7 == 3 {
+				// Land exactly on a support point: h == 0 branch.
+				queries[j] = append([]float64(nil), xs[r.Intn(n)]...)
+			} else {
+				q := make([]float64, dim)
+				for i := range q {
+					q[i] = float64(r.IntRange(0, 14)) + r.NormScaled(0, 0.25)
+				}
+				queries[j] = q
+			}
+		}
+		for mi, model := range batchModels() {
+			interps := []struct {
+				name  string
+				batch func(queries [][]float64, out []float64) error
+				seq   func(q []float64) (float64, error)
+			}{}
+			o := &Ordinary{Model: model, CacheSize: 8}
+			s := &Simple{Model: model, CacheSize: 8}
+			u := &Universal{Model: model}
+			interps = append(interps,
+				struct {
+					name  string
+					batch func(queries [][]float64, out []float64) error
+					seq   func(q []float64) (float64, error)
+				}{"ordinary", func(q [][]float64, out []float64) error { return o.PredictBatch(xs, ys, q, out) },
+					func(q []float64) (float64, error) { return o.Predict(xs, ys, q) }},
+				struct {
+					name  string
+					batch func(queries [][]float64, out []float64) error
+					seq   func(q []float64) (float64, error)
+				}{"simple", func(q [][]float64, out []float64) error { return s.PredictBatch(xs, ys, q, out) },
+					func(q []float64) (float64, error) { return s.Predict(xs, ys, q) }},
+				struct {
+					name  string
+					batch func(queries [][]float64, out []float64) error
+					seq   func(q []float64) (float64, error)
+				}{"universal", func(q [][]float64, out []float64) error { return u.PredictBatch(xs, ys, q, out) },
+					func(q []float64) (float64, error) { return u.Predict(xs, ys, q) }},
+			)
+			for _, ip := range interps {
+				for _, k := range ks {
+					out := make([]float64, k)
+					if err := ip.batch(queries[:k], out); err != nil {
+						// A degenerate batch is acceptable only if the
+						// sequential path degenerates too.
+						if _, serr := ip.seq(queries[0]); serr == nil {
+							t.Fatalf("trial %d %s model %d K=%d: batch failed (%v) but sequential succeeds", trial, ip.name, mi, k, err)
+						}
+						continue
+					}
+					for j := 0; j < k; j++ {
+						want, err := ip.seq(queries[j])
+						if err != nil {
+							t.Fatalf("trial %d %s model %d K=%d q%d: sequential error %v after batch success", trial, ip.name, mi, k, j, err)
+						}
+						if !bitEqual(out[j], want) {
+							t.Fatalf("trial %d %s model %d K=%d q%d: batch %v != sequential %v (diff %g)",
+								trial, ip.name, mi, k, j, out[j], want, out[j]-want)
+						}
+					}
+				}
+			}
+			// Ordinary also carries the variance through the batch.
+			for _, k := range ks {
+				outV := make([]float64, k)
+				outVar := make([]float64, k)
+				if err := o.PredictVarBatch(xs, ys, queries[:k], outV, outVar); err != nil {
+					continue
+				}
+				for j := 0; j < k; j++ {
+					wv, wvar, err := o.PredictVar(xs, ys, queries[j])
+					if err != nil {
+						t.Fatalf("trial %d model %d K=%d q%d: sequential PredictVar: %v", trial, mi, k, j, err)
+					}
+					if !bitEqual(outV[j], wv) || !bitEqual(outVar[j], wvar) {
+						t.Fatalf("trial %d model %d K=%d q%d: batch (%v, %v) != sequential (%v, %v)",
+							trial, mi, k, j, outV[j], outVar[j], wv, wvar)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchMatchesSequentialExtendedFactor pins the Lagrange-row
+// permutation path: a support served by an incrementally extended
+// ordinary factor stores its appended rows AFTER the Lagrange row, so
+// every solve re-permutes through factored.logicalIndex. The batch
+// solve must thread the same permutation per column.
+func TestBatchMatchesSequentialExtendedFactor(t *testing.T) {
+	r := rng.New(702)
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + r.Intn(8)
+		xs, ys := drawSupport(r, n, 3)
+		for _, model := range batchModels() {
+			o := &Ordinary{Model: model, CacheSize: 8}
+			// Warm the cache on the prefix, then touch the full support
+			// once so the factor is grown through lu.Extend.
+			if _, err := o.Predict(xs[:n-2], ys[:n-2], xs[0]); err != nil {
+				t.Fatalf("trial %d: prefix warm: %v", trial, err)
+			}
+			if _, err := o.Predict(xs, ys, xs[0]); err != nil {
+				t.Fatalf("trial %d: extend warm: %v", trial, err)
+			}
+			if o.cache.incrementalHits.Load() == 0 {
+				t.Fatalf("trial %d: support growth did not take the incremental path", trial)
+			}
+			queries := make([][]float64, 7)
+			for j := range queries {
+				q := make([]float64, 3)
+				for i := range q {
+					q[i] = float64(r.IntRange(0, 14)) + r.NormScaled(0, 0.25)
+				}
+				queries[j] = q
+			}
+			outV := make([]float64, len(queries))
+			outVar := make([]float64, len(queries))
+			if err := o.PredictVarBatch(xs, ys, queries, outV, outVar); err != nil {
+				t.Fatalf("trial %d: batch: %v", trial, err)
+			}
+			for j, q := range queries {
+				wv, wvar, err := o.PredictVar(xs, ys, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bitEqual(outV[j], wv) || !bitEqual(outVar[j], wvar) {
+					t.Fatalf("trial %d q%d: extended-factor batch (%v, %v) != sequential (%v, %v)",
+						trial, j, outV[j], outVar[j], wv, wvar)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchSequentialAblationFlag: the SequentialBatch switch must
+// change throughput only, never results.
+func TestBatchSequentialAblationFlag(t *testing.T) {
+	r := rng.New(703)
+	xs, ys := drawSupport(r, 12, 3)
+	queries := make([][]float64, 9)
+	for j := range queries {
+		q := make([]float64, 3)
+		for i := range q {
+			q[i] = float64(r.IntRange(0, 14)) + r.NormScaled(0, 0.25)
+		}
+		queries[j] = q
+	}
+	model := &variogram.SphericalModel{Sill: 40, Range: 9, Nugget: 0.1}
+	blocked := &Ordinary{Model: model}
+	ablated := &Ordinary{Model: model, SequentialBatch: true}
+	a := make([]float64, len(queries))
+	b := make([]float64, len(queries))
+	if err := blocked.PredictBatch(xs, ys, queries, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ablated.PredictBatch(xs, ys, queries, b); err != nil {
+		t.Fatal(err)
+	}
+	for j := range a {
+		if !bitEqual(a[j], b[j]) {
+			t.Fatalf("q%d: blocked %v != ablated %v", j, a[j], b[j])
+		}
+	}
+}
+
+// TestBatchShapeAndEdgeCases covers the error surface: mismatched
+// output length, empty support with pending queries, zero queries,
+// single-point support.
+func TestBatchShapeAndEdgeCases(t *testing.T) {
+	r := rng.New(704)
+	xs, ys := drawSupport(r, 5, 2)
+	o := &Ordinary{Model: &variogram.LinearModel{Slope: 1}}
+	queries := [][]float64{{1, 2}, {3, 4}}
+	if err := o.PredictBatch(xs, ys, queries, make([]float64, 1)); err == nil {
+		t.Fatal("short output accepted")
+	}
+	if err := o.PredictBatch(xs, ys[:3], queries, make([]float64, 2)); err == nil {
+		t.Fatal("mismatched ys accepted")
+	}
+	if err := o.PredictBatch(nil, nil, queries, make([]float64, 2)); !errors.Is(err, ErrNoSupport) {
+		t.Fatalf("empty support: %v", err)
+	}
+	if err := o.PredictBatch(xs, ys, nil, nil); err != nil {
+		t.Fatalf("zero queries: %v", err)
+	}
+	out := make([]float64, 2)
+	if err := o.PredictBatch(xs[:1], ys[:1], queries, out); err != nil {
+		t.Fatalf("single support: %v", err)
+	}
+	if out[0] != ys[0] || out[1] != ys[0] {
+		t.Fatalf("single support prediction %v, want %v", out, ys[0])
+	}
+	outVar := make([]float64, 2)
+	if err := o.PredictVarBatch(xs[:1], ys[:1], queries, out, outVar); err != nil || outVar[0] != 0 {
+		t.Fatalf("single support var: %v %v", err, outVar)
+	}
+}
+
+// TestSimpleBatchFlatField: a constant-valued support has sill 0; the
+// batch path must answer the mean for every query like the sequential
+// path does, without touching a factor.
+func TestSimpleBatchFlatField(t *testing.T) {
+	xs := [][]float64{{0, 0}, {1, 0}, {0, 1}, {2, 2}}
+	ys := []float64{5, 5, 5, 5}
+	s := &Simple{FitKind: variogram.Linear}
+	queries := [][]float64{{0.5, 0.5}, {3, 3}, {0, 0}}
+	out := make([]float64, 3)
+	if err := s.PredictBatch(xs, ys, queries, out); err != nil {
+		t.Fatal(err)
+	}
+	for j, q := range queries {
+		want, err := s.Predict(xs, ys, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bitEqual(out[j], want) {
+			t.Fatalf("q%d: %v != %v", j, out[j], want)
+		}
+		if out[j] != 5 {
+			t.Fatalf("q%d: flat field predicted %v, want 5", j, out[j])
+		}
+	}
+}
+
+// TestAppendRowDuplicateAfterTransformFallsBack is the kriging-level
+// regression test for the AppendRow fail-open guard. A weighted-L1
+// anisotropy with an infinite axis scale maps two support points that
+// share that axis coordinate to a NaN separation (∞·0); the appended
+// covariance border is then NaN and the old guard accepted the
+// sqrt(NaN)-poisoned factor as a successful incremental extension,
+// caching it. With the fix AppendRow reports ErrSingular, the cache
+// falls back to refactorisation (no incremental hit is recorded), the
+// degenerate support surfaces as an error, and the previously cached
+// prefix system keeps serving healthy predictions.
+func TestAppendRowDuplicateAfterTransformFallsBack(t *testing.T) {
+	inf := math.Inf(1)
+	dist := WeightedL1([]float64{inf, 1})
+	model := &variogram.SphericalModel{Sill: 4, Range: 3, Nugget: 0.1}
+	s := &Simple{Dist: dist, Model: model, CacheSize: 8}
+	// Distinct axis-0 coordinates: every pairwise separation is +∞, the
+	// covariances clamp at zero, and the system is a healthy diagonal.
+	xs := [][]float64{{0, 0}, {1, 3}, {2, 1}, {3, 4}, {4, 2}}
+	ys := []float64{1, 2, 3, 4, 5}
+	q := []float64{9, 9}
+	if _, err := s.Predict(xs, ys, q); err != nil {
+		t.Fatalf("prefix support must predict cleanly: %v", err)
+	}
+	// Appended point duplicates xs[1] on the infinite axis (axis-0) after
+	// the transform, though it is a distinct lattice point.
+	ext := append(append([][]float64{}, xs...), []float64{1, 12})
+	extYs := append(append([]float64{}, ys...), 6)
+	if _, err := s.Predict(ext, extYs, q); err == nil {
+		t.Fatal("duplicate-after-transform support produced a prediction from a poisoned factor")
+	}
+	if hits := s.cache.incrementalHits.Load(); hits != 0 {
+		t.Fatalf("poisoned border recorded %d incremental hits; AppendRow must reject it", hits)
+	}
+	// The healthy prefix system must still serve.
+	if v, err := s.Predict(xs, ys, q); err != nil || math.IsNaN(v) {
+		t.Fatalf("prefix support corrupted after failed extension: v=%v err=%v", v, err)
+	}
+}

@@ -122,6 +122,47 @@ func (sys *factored) solveInto(dst, rhs []float64, s *predictScratch) error {
 	return nil
 }
 
+// solveBatchInto solves the factored system for k right-hand sides of
+// length m packed column-major into rhs (each column in logical order),
+// writing the solution columns into dst. It is the multi-RHS analogue of
+// solveInto: the same permutation handling for incrementally grown
+// factors, with the triangular sweeps going through the blocked
+// linalg kernels. Because the blocked kernels are bit-identical per
+// column to the single-RHS solves, each dst column equals what a
+// solveInto call on that column would produce, bit for bit. dst must
+// not alias rhs.
+func (sys *factored) solveBatchInto(dst, rhs []float64, m, k int, s *predictScratch) error {
+	if sys.chol != nil {
+		return sys.chol.SolveBatchInto(dst, rhs, k)
+	}
+	if sys.lu == nil {
+		return errNotExtendable
+	}
+	if sys.extended() == 0 {
+		return sys.lu.SolveBatchInto(dst, rhs, k)
+	}
+	pb := growFloats(&s.pb, m*k)
+	for j := 0; j < k; j++ {
+		col := rhs[j*m : (j+1)*m]
+		pcol := pb[j*m : (j+1)*m]
+		for pos := 0; pos < m; pos++ {
+			pcol[pos] = col[sys.logicalIndex(pos)]
+		}
+	}
+	sol := growFloats(&s.sol, m*k)
+	if err := sys.lu.SolveBatchInto(sol, pb, k); err != nil {
+		return err
+	}
+	for j := 0; j < k; j++ {
+		dcol := dst[j*m : (j+1)*m]
+		scol := sol[j*m : (j+1)*m]
+		for pos := 0; pos < m; pos++ {
+			dcol[sys.logicalIndex(pos)] = scol[pos]
+		}
+	}
+	return nil
+}
+
 // predictScratch is the per-goroutine buffer set of one prediction:
 // right-hand side, solved weights, and the permutation scratch of
 // extended factors. Pooled so a cache-hit prediction performs zero heap

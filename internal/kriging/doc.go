@@ -28,8 +28,22 @@
 // from-scratch factorisation to well under 1e-9 relative error (see
 // the incremental property tests).
 //
+// # Blocked batch prediction
+//
+// K queries sharing one support answer through PredictBatch /
+// PredictVarBatch (ordinary, simple and universal kriging): one cache
+// lookup, all K right-hand sides assembled into one pooled column-major
+// block, one blocked multi-RHS solve (linalg SolveBatchInto, 4-wide
+// shared-coefficient kernels — SSE2 on amd64), and a 4-wide output
+// sweep. Results are bit-identical to K sequential Predict/PredictVar
+// calls — the property wall in batch_test.go enforces it — so callers
+// (the evaluator's shared-support pre-pass) can route queries through
+// either path freely. The SequentialBatch flag forces the sequential
+// loop, kept as the ablation arm for the batch speedup gates.
+//
 // Cache-hit predictions are allocation-free: per-query vectors come
-// from pooled scratch and the factors solve in place.
+// from pooled scratch and the factors solve in place; a warm
+// PredictBatch is allocation-free regardless of K.
 //
 // The interpolators are safe for concurrent use: the cache is the only
 // mutable state and it is mutex-guarded (factor extensions build new

@@ -89,6 +89,11 @@ type Ordinary struct {
 	// after the first prediction — build a fresh interpolator per
 	// configuration instead.
 	CacheSize int
+	// SequentialBatch is the ablation switch for the blocked multi-RHS
+	// path: when set, PredictBatch/PredictVarBatch degrade to K
+	// sequential calls. Results are bit-identical either way (the
+	// speedup tests assert both directions); only throughput changes.
+	SequentialBatch bool
 
 	cacheOnce sync.Once
 	cache     *systemCache
@@ -160,11 +165,11 @@ func (o *Ordinary) PredictVar(xs [][]float64, ys []float64, x []float64) (value,
 	if err := sys.solveInto(w, rhs, s); err != nil {
 		return 0, 0, fmt.Errorf("%w: %v", ErrDegenerate, err)
 	}
-	var val, varEst float64
-	for k := 0; k < n; k++ {
-		val += w[k] * ys[k]
-		varEst += w[k] * rhs[k]
-	}
+	// Both dot products go through linalg.Dot — the same kernel the
+	// blocked batch path uses — so PredictVarBatch stays bit-identical
+	// to K sequential calls.
+	val := linalg.Dot(w[:n], ys)
+	varEst := linalg.Dot(w[:n], rhs[:n])
 	varEst += w[n] // + Lagrange multiplier
 	if varEst < 0 {
 		varEst = 0

@@ -45,6 +45,9 @@ type Simple struct {
 	// configuration fields must not be mutated after the first
 	// prediction.
 	CacheSize int
+	// SequentialBatch degrades PredictBatch to sequential Predict calls
+	// (ablation switch; results are bit-identical either way).
+	SequentialBatch bool
 
 	cacheOnce sync.Once
 	cache     *systemCache
@@ -106,10 +109,9 @@ func (s *Simple) Predict(xs [][]float64, ys []float64, x []float64) (float64, er
 	if err := sys.solveInto(w, rhs, sc); err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrDegenerate, err)
 	}
-	val := mean
-	for k := 0; k < n; k++ {
-		val += w[k] * (ys[k] - mean)
-	}
+	// centeredDot is shared with PredictBatch so the batch path stays
+	// bit-identical to K sequential calls.
+	val := centeredDot(mean, w, ys)
 	if math.IsNaN(val) || math.IsInf(val, 0) {
 		return 0, ErrDegenerate
 	}

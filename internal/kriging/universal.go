@@ -34,6 +34,9 @@ type Universal struct {
 	PowerBeta float64
 	// Nugget regularises the system diagonal.
 	Nugget float64
+	// SequentialBatch degrades PredictBatch to sequential Predict calls
+	// (ablation switch; results are bit-identical either way).
+	SequentialBatch bool
 }
 
 // Name implements Interpolator.
@@ -139,10 +142,9 @@ func (u *Universal) Predict(xs [][]float64, ys []float64, x []float64) (float64,
 		ord := &Ordinary{Dist: u.Dist, Model: model, Nugget: u.Nugget}
 		return ord.Predict(xs, ys, x)
 	}
-	var val float64
-	for k := 0; k < n; k++ {
-		val += w[k] * ys[k]
-	}
+	// linalg.Dot is the same kernel the blocked batch path uses, so
+	// PredictBatch stays bit-identical to K sequential calls.
+	val := linalg.Dot(w[:n], ys)
 	if math.IsNaN(val) || math.IsInf(val, 0) {
 		return 0, ErrDegenerate
 	}

@@ -1,0 +1,120 @@
+package linalg
+
+import "fmt"
+
+// Blocked multi-RHS triangular solves. A batch of k right-hand sides is
+// passed as one column-major block: column j occupies b[j*n : (j+1)*n].
+// Columns are processed four at a time through the shared-coefficient
+// kernels in kernels.go, so each factor row is loaded once per four
+// columns instead of once per column (the BLAS-3 shape); leftover
+// columns fall through to the single-RHS SolveInto. Because the blocked
+// kernels replicate the single-column accumulation order exactly, every
+// column of the result is bit-identical to a standalone SolveInto call —
+// the property the kriging batch-prediction tests pin down.
+
+// SolveBatchInto solves A·X = B for k right-hand sides packed
+// column-major into b, writing the solutions column-major into dst.
+// Both slices must have length n·k. dst may alias b (each column is
+// solved in place like SolveInto); partial overlap is not supported.
+func (c *Cholesky) SolveBatchInto(dst, b []float64, k int) error {
+	n := c.n
+	if k < 0 || len(b) != n*k || len(dst) != n*k {
+		return fmt.Errorf("%w: batch rhs %d, dst %d, want %d×%d", ErrShape, len(b), len(dst), n, k)
+	}
+	j := 0
+	for ; j+3 < k; j += 4 {
+		o := j * n
+		c.solveBlock4(dst[o:o+4*n], b[o:o+4*n])
+	}
+	for ; j < k; j++ {
+		o := j * n
+		if err := c.SolveInto(dst[o:o+n], b[o:o+n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// solveBlock4 solves four systems at once — x and b each pack four
+// consecutive columns — sharing each factor-row load. Per-column
+// arithmetic replicates SolveInto bit for bit.
+func (c *Cholesky) solveBlock4(x, b []float64) {
+	n := c.n
+	x0, x1, x2, x3 := x[:n], x[n:2*n], x[2*n:3*n], x[3*n:4*n]
+	b0, b1, b2, b3 := b[:n], b[n:2*n], b[2*n:3*n], b[3*n:4*n]
+	for i := 0; i < n; i++ {
+		row := c.l.Data[i*n : i*n+i+1]
+		s0, s1, s2, s3 := dot4cols(row[:i], x, n, 0)
+		d := row[i]
+		x0[i] = (b0[i] - s0) / d
+		x1[i] = (b1[i] - s1) / d
+		x2[i] = (b2[i] - s2) / d
+		x3[i] = (b3[i] - s3) / d
+	}
+	for i := n - 1; i >= 0; i-- {
+		s0, s1, s2, s3 := strideDot4(c.l.Data, (i+1)*n+i, n, x0[i+1:n], x1[i+1:n], x2[i+1:n], x3[i+1:n])
+		d := c.l.Data[i*n+i]
+		x0[i] = (x0[i] - s0) / d
+		x1[i] = (x1[i] - s1) / d
+		x2[i] = (x2[i] - s2) / d
+		x3[i] = (x3[i] - s3) / d
+	}
+}
+
+// SolveBatchInto solves A·X = B for k right-hand sides packed
+// column-major into b, writing the solutions column-major into dst.
+// Both slices must have length n·k. dst must not alias b: like
+// SolveInto, the row permutation scatters each b column into the dst
+// column before the substitution sweeps.
+func (f *LU) SolveBatchInto(dst, b []float64, k int) error {
+	n := f.n
+	if k < 0 || len(b) != n*k || len(dst) != n*k {
+		return fmt.Errorf("%w: batch rhs %d, dst %d, want %d×%d", ErrShape, len(b), len(dst), n, k)
+	}
+	j := 0
+	for ; j+3 < k; j += 4 {
+		o := j * n
+		f.solveBlock4(dst[o:o+4*n], b[o:o+4*n])
+	}
+	for ; j < k; j++ {
+		o := j * n
+		if err := f.SolveInto(dst[o:o+n], b[o:o+n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// solveBlock4 solves four systems at once — x and b each pack four
+// consecutive columns — sharing each factor-row load. Per-column
+// arithmetic replicates SolveInto bit for bit.
+func (f *LU) solveBlock4(x, b []float64) {
+	n := f.n
+	lu := f.lu.Data
+	x0, x1, x2, x3 := x[:n], x[n:2*n], x[2*n:3*n], x[3*n:4*n]
+	b0, b1, b2, b3 := b[:n], b[n:2*n], b[2*n:3*n], b[3*n:4*n]
+	for i := 0; i < n; i++ {
+		p := f.piv[i]
+		x0[i] = b0[p]
+		x1[i] = b1[p]
+		x2[i] = b2[p]
+		x3[i] = b3[p]
+	}
+	for i := 1; i < n; i++ {
+		row := lu[i*n : (i+1)*n]
+		s0, s1, s2, s3 := dot4cols(row[:i], x, n, 0)
+		x0[i] -= s0
+		x1[i] -= s1
+		x2[i] -= s2
+		x3[i] -= s3
+	}
+	for i := n - 1; i >= 0; i-- {
+		row := lu[i*n : (i+1)*n]
+		s0, s1, s2, s3 := dot4cols(row[i+1:n], x, n, i+1)
+		d := row[i]
+		x0[i] = (x0[i] - s0) / d
+		x1[i] = (x1[i] - s1) / d
+		x2[i] = (x2[i] - s2) / d
+		x3[i] = (x3[i] - s3) / d
+	}
+}

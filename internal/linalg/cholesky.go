@@ -28,7 +28,9 @@ func FactorizeCholesky(a *Matrix) (*Cholesky, error) {
 				s -= l.At(i, k) * l.At(j, k)
 			}
 			if i == j {
-				if s <= 0 {
+				// !(s > 0) rather than s <= 0: a NaN pivot (non-finite
+				// input) must be rejected, not passed to Sqrt.
+				if !(s > 0) {
 					return nil, fmt.Errorf("%w: non-positive diagonal at %d", ErrSingular, i)
 				}
 				l.Set(i, i, math.Sqrt(s))
@@ -60,19 +62,12 @@ func (c *Cholesky) SolveInto(dst, b []float64) error {
 	// Forward: L·y = b, y landing in dst.
 	for i := 0; i < n; i++ {
 		row := c.l.Data[i*n : i*n+i+1]
-		s := b[i]
-		for k := 0; k < i; k++ {
-			s -= row[k] * dst[k]
-		}
-		dst[i] = s / row[i]
+		dst[i] = (b[i] - dotUnrolled(row[:i], dst)) / row[i]
 	}
 	// Backward: Lᵀ·x = y, in place.
 	for i := n - 1; i >= 0; i-- {
-		s := dst[i]
-		for k := i + 1; k < n; k++ {
-			s -= c.l.Data[k*n+i] * dst[k]
-		}
-		dst[i] = s / c.l.Data[i*n+i]
+		s := strideDot(c.l.Data, (i+1)*n+i, n, dst[i+1:n])
+		dst[i] = (dst[i] - s) / c.l.Data[i*n+i]
 	}
 	return nil
 }
@@ -126,9 +121,14 @@ func (c *Cholesky) AppendRow(row []float64, diag float64) (*Cholesky, error) {
 		last[i] = v
 		sq += v * v
 	}
-	// New diagonal: l² = diag - v·v, guarded against cancellation.
+	// New diagonal: l² = diag - v·v, guarded against cancellation. The
+	// guard must fail CLOSED on non-finite pivots: a NaN d2 (duplicate
+	// support points pushed through a degenerate anisotropy transform
+	// yield NaN distances, hence NaN rows) compares false against every
+	// threshold, and the old `d2 <= 0 || d2 < tol·(...)` form let
+	// sqrt(NaN) poison the factor while reporting success.
 	d2 := diag - sq
-	if d2 <= 0 || d2 < cholAppendTol*(math.Abs(diag)+sq) {
+	if !(d2 > 0) || math.IsInf(d2, 0) || d2 < cholAppendTol*(math.Abs(diag)+sq) {
 		return nil, fmt.Errorf("%w: appended diagonal pivot %g below health threshold", ErrSingular, d2)
 	}
 	last[n] = math.Sqrt(d2)
@@ -186,16 +186,27 @@ func (c *Cholesky) DropRow(i int) (*Cholesky, error) {
 // L returns a copy of the lower-triangular factor.
 func (c *Cholesky) L() *Matrix { return c.l.Clone() }
 
-// Dot returns the inner product of two equal-length vectors.
+// Dot returns the inner product of two equal-length vectors. It uses
+// the same two-chain accumulation as the triangular-solve kernels, so
+// callers composing predictions from Dot calls get results bit-identical
+// to the blocked batch paths built on the same kernels.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("linalg: Dot length mismatch")
 	}
-	var s float64
-	for i, v := range a {
-		s += v * b[i]
+	return dotUnrolled(a, b)
+}
+
+// Dot4 returns a·x0, a·x1, a·x2, a·x3 in one pass through the
+// shared-coefficient 4-wide kernel. Each result is bit-identical to the
+// corresponding Dot(a, xi) (and, multiplication being commutative, to
+// Dot(xi, a)) — the batch prediction output loops use it to compute four
+// queries' weight·value dots per sweep over the shared value vector.
+func Dot4(a, x0, x1, x2, x3 []float64) (r0, r1, r2, r3 float64) {
+	if len(a) != len(x0) || len(a) != len(x1) || len(a) != len(x2) || len(a) != len(x3) {
+		panic("linalg: Dot4 length mismatch")
 	}
-	return s
+	return dotUnrolled4(a, x0, x1, x2, x3)
 }
 
 // Norm2 returns the Euclidean norm of v.
@@ -223,8 +234,6 @@ func AXPY(a float64, x, y []float64) []float64 {
 	if len(x) != len(y) {
 		panic("linalg: AXPY length mismatch")
 	}
-	for i, v := range x {
-		y[i] += a * v
-	}
+	axpyUnrolled(a, x, y)
 	return y
 }

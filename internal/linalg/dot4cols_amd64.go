@@ -1,0 +1,30 @@
+package linalg
+
+// dot4colsSSE2 is implemented in dot4cols_amd64.s. It reads a[0:n] and
+// x[c*stride : c*stride+n] for c = 0..3 through raw pointers; dot4cols
+// re-establishes the slice bounds before the call.
+//
+//go:noescape
+func dot4colsSSE2(a *float64, n int, x *float64, stride int, out *[4]float64)
+
+// dot4cols dispatches to the SSE2 kernel; see dot4colsGeneric in
+// kernels.go for the reference semantics and the bit-identity argument.
+func dot4cols(a, x []float64, stride, lo int) (r0, r1, r2, r3 float64) {
+	n := len(a)
+	// Bounds, kept to one branch pair per call (the sweeps call this per
+	// row): with stride and lo non-negative, every read of column c lies
+	// in [lo, 3·stride+lo+n), so checking the last index of the last
+	// column covers all four. The assembly trusts the pointers it is
+	// handed.
+	if stride < 0 || lo < 0 {
+		panic("linalg: dot4cols negative stride or offset")
+	}
+	if n == 0 {
+		_ = x[3*stride+lo:] // same shape panic as the generic slicings
+		return 0, 0, 0, 0
+	}
+	_ = x[3*stride+lo+n-1]
+	var out [4]float64
+	dot4colsSSE2(&a[0], n, &x[lo], stride, &out)
+	return out[0], out[1], out[2], out[3]
+}

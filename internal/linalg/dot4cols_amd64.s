@@ -1,0 +1,147 @@
+// SSE2 kernel behind dot4cols on amd64 (SSE2 is the amd64 baseline, so
+// no feature detection is needed). The two accumulator chains of each
+// column live in the two lanes of one XMM register: lane 0 carries the
+// even-index chain, lane 1 the odd-index chain, exactly the a/b pairs of
+// the portable dot4colsGeneric. MOVUPD loads the coefficient pair
+// [a[i], a[i+1]] once and MULPD/ADDPD — per-lane scalar IEEE-754
+// multiply and add — feed all four columns, so each chain sees the same
+// elements in the same order as the pure-Go kernel and every result bit
+// matches. The odd tail element is accumulated with scalar MULSD/ADDSD
+// into lane 0 (the even chain), and the final per-column reduction adds
+// lane 0 + lane 1 in that order, mirroring the generic `a + b` return.
+//
+// All streams advance through one byte index (BX) against precomputed
+// limits, keeping the loop overhead to a single add per four elements —
+// the triangular sweeps call this once per row, so the short-length cost
+// matters as much as the streaming rate.
+//
+// func dot4colsSSE2(a *float64, n int, x *float64, stride int, out *[4]float64)
+// Reads a[0:n] and x[c*stride : c*stride+n] for c = 0..3; the Go wrapper
+// performs the bounds checks before handing raw pointers over.
+
+#include "textflag.h"
+
+TEXT ·dot4colsSSE2(SB), NOSPLIT, $0-40
+	MOVQ a+0(FP), SI
+	MOVQ n+8(FP), DX
+	MOVQ x+16(FP), R8
+	MOVQ stride+24(FP), AX
+	MOVQ out+32(FP), R12
+
+	// Column base pointers: R8 + c*stride*8 for c = 0..3.
+	SHLQ $3, AX
+	MOVQ R8, R9
+	ADDQ AX, R9
+	MOVQ R9, R10
+	ADDQ AX, R10
+	MOVQ R10, R11
+	ADDQ AX, R11
+
+	// X0..X3 = [even chain, odd chain] accumulators for columns 0..3.
+	PXOR X0, X0
+	PXOR X1, X1
+	PXOR X2, X2
+	PXOR X3, X3
+
+	// Byte index and loop limits: R14 = (n &^ 3)·8, R13 = (n &^ 1)·8,
+	// DX = n·8.
+	XORQ BX, BX
+	MOVQ DX, R14
+	ANDQ $-4, R14
+	SHLQ $3, R14
+	MOVQ DX, R13
+	ANDQ $-2, R13
+	SHLQ $3, R13
+	SHLQ $3, DX
+
+loop4:
+	// Four elements per trip: coefficient pairs [a[i],a[i+1]] in X4 and
+	// [a[i+2],a[i+3]] in X9; both ADDPDs target the same accumulator, so
+	// within each chain the element order matches the generic 4-wide loop.
+	CMPQ BX, R14
+	JGE  step2
+	MOVUPD (SI)(BX*1), X4
+	MOVUPD 16(SI)(BX*1), X9
+	MOVUPD (R8)(BX*1), X5
+	MULPD  X4, X5
+	ADDPD  X5, X0
+	MOVUPD 16(R8)(BX*1), X10
+	MULPD  X9, X10
+	ADDPD  X10, X0
+	MOVUPD (R9)(BX*1), X6
+	MULPD  X4, X6
+	ADDPD  X6, X1
+	MOVUPD 16(R9)(BX*1), X11
+	MULPD  X9, X11
+	ADDPD  X11, X1
+	MOVUPD (R10)(BX*1), X7
+	MULPD  X4, X7
+	ADDPD  X7, X2
+	MOVUPD 16(R10)(BX*1), X12
+	MULPD  X9, X12
+	ADDPD  X12, X2
+	MOVUPD (R11)(BX*1), X8
+	MULPD  X4, X8
+	ADDPD  X8, X3
+	MOVUPD 16(R11)(BX*1), X13
+	MULPD  X9, X13
+	ADDPD  X13, X3
+	ADDQ $32, BX
+	JMP  loop4
+
+step2:
+	// At most one two-element step remains below the 4-wide limit.
+	CMPQ BX, R13
+	JGE  tail
+	MOVUPD (SI)(BX*1), X4
+	MOVUPD (R8)(BX*1), X5
+	MULPD  X4, X5
+	ADDPD  X5, X0
+	MOVUPD (R9)(BX*1), X6
+	MULPD  X4, X6
+	ADDPD  X6, X1
+	MOVUPD (R10)(BX*1), X7
+	MULPD  X4, X7
+	ADDPD  X7, X2
+	MOVUPD (R11)(BX*1), X8
+	MULPD  X4, X8
+	ADDPD  X8, X3
+	ADDQ $16, BX
+
+tail:
+	// Odd trailing element: even chain (lane 0), like the generic kernel.
+	CMPQ BX, DX
+	JGE  done
+	MOVSD (SI)(BX*1), X4
+	MOVSD (R8)(BX*1), X5
+	MULSD X4, X5
+	ADDSD X5, X0
+	MOVSD (R9)(BX*1), X6
+	MULSD X4, X6
+	ADDSD X6, X1
+	MOVSD (R10)(BX*1), X7
+	MULSD X4, X7
+	ADDSD X7, X2
+	MOVSD (R11)(BX*1), X8
+	MULSD X4, X8
+	ADDSD X8, X3
+
+done:
+	// Per-column reduction: out[c] = lane0 + lane1 (even + odd chain).
+	MOVAPD   X0, X4
+	UNPCKHPD X4, X4
+	ADDSD    X4, X0
+	MOVSD    X0, (R12)
+	MOVAPD   X1, X4
+	UNPCKHPD X4, X4
+	ADDSD    X4, X1
+	MOVSD    X1, 8(R12)
+	MOVAPD   X2, X4
+	UNPCKHPD X4, X4
+	ADDSD    X4, X2
+	MOVSD    X2, 16(R12)
+	MOVAPD   X3, X4
+	UNPCKHPD X4, X4
+	ADDSD    X4, X3
+	MOVSD    X3, 24(R12)
+	RET

@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package linalg
+
+// dot4cols falls back to the portable kernel on targets without an
+// assembly implementation.
+func dot4cols(a, x []float64, stride, lo int) (r0, r1, r2, r3 float64) {
+	return dot4colsGeneric(a, x, stride, lo)
+}

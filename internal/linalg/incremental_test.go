@@ -405,3 +405,195 @@ func BenchmarkIncrementalFactor(b *testing.B) {
 		})
 	}
 }
+
+// TestSlidingCholeskyChain drives a 200-step randomized drop/append
+// chain through the sliding window and demands the maintained factor
+// match a from-scratch factorisation of the current window matrix to
+// 1e-9 at every step. The chain is long enough that the
+// SlidingRefactorBound full refactorisations must trigger along the way.
+func TestSlidingCholeskyChain(t *testing.T) {
+	r := rng.New(90)
+	// A big SPD master matrix; every window is a principal submatrix
+	// (indices tracked in win), hence SPD itself.
+	const master = 260
+	m := randomSPD(r, master)
+	win := make([]int, 12)
+	next := 0
+	for i := range win {
+		win[i] = next
+		next++
+	}
+	sub := func() *Matrix {
+		n := len(win)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, m.At(win[i], win[j]))
+			}
+		}
+		return a
+	}
+	sw, err := NewSlidingCholesky(sub())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 0, 64)
+	xe := make([]float64, 0, 64)
+	xr := make([]float64, 0, 64)
+	for step := 0; step < 200; step++ {
+		n := len(win)
+		doAppend := n <= 6 || (n < 40 && r.Intn(2) == 0)
+		if doAppend {
+			if next >= master {
+				t.Fatalf("step %d: master matrix exhausted", step)
+			}
+			row := make([]float64, n)
+			for i := range row {
+				row[i] = m.At(next, win[i])
+			}
+			if err := sw.Append(row, m.At(next, next)); err != nil {
+				t.Fatalf("step %d: Append: %v", step, err)
+			}
+			win = append(win, next)
+			next++
+		} else {
+			i := r.Intn(n)
+			if err := sw.Drop(i); err != nil {
+				t.Fatalf("step %d: Drop(%d): %v", step, i, err)
+			}
+			win = append(win[:i], win[i+1:]...)
+		}
+		n = len(win)
+		if sw.Size() != n {
+			t.Fatalf("step %d: window size %d, want %d", step, sw.Size(), n)
+		}
+		ref, err := FactorizeCholesky(sub())
+		if err != nil {
+			t.Fatalf("step %d: reference factorisation: %v", step, err)
+		}
+		b = b[:0]
+		for i := 0; i < n; i++ {
+			b = append(b, r.NormScaled(0, 1))
+		}
+		xe = append(xe[:0], b...)
+		xr = append(xr[:0], b...)
+		if err := sw.Factor().SolveInto(xe, xe); err != nil {
+			t.Fatalf("step %d: sliding solve: %v", step, err)
+		}
+		if err := ref.SolveInto(xr, xr); err != nil {
+			t.Fatalf("step %d: reference solve: %v", step, err)
+		}
+		for i := range xr {
+			if math.Abs(xe[i]-xr[i]) > 1e-9*(1+math.Abs(xr[i])) {
+				t.Fatalf("step %d: x[%d] = %v (sliding) vs %v (reference)", step, i, xe[i], xr[i])
+			}
+		}
+	}
+	if sw.Refactors() == 0 {
+		t.Fatalf("200-step chain never hit the %d-append refactor bound", SlidingRefactorBound)
+	}
+}
+
+// TestSlidingCholeskyRefactorBound pins the chain-length policy exactly:
+// an uninterrupted append chain must refactorise from scratch on every
+// SlidingRefactorBound-th append and nowhere else.
+func TestSlidingCholeskyRefactorBound(t *testing.T) {
+	r := rng.New(91)
+	const total = 2*SlidingRefactorBound + 5
+	m := randomSPD(r, total+4)
+	win := 4
+	a := NewMatrix(win, win)
+	for i := 0; i < win; i++ {
+		for j := 0; j < win; j++ {
+			a.Set(i, j, m.At(i, j))
+		}
+	}
+	sw, err := NewSlidingCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < total; s++ {
+		n := win + s
+		row := make([]float64, n)
+		for i := range row {
+			row[i] = m.At(n, i)
+		}
+		if err := sw.Append(row, m.At(n, n)); err != nil {
+			t.Fatalf("append %d: %v", s, err)
+		}
+		if want := (s + 1) / SlidingRefactorBound; sw.Refactors() != want {
+			t.Fatalf("after %d appends: %d refactors, want %d", s+1, sw.Refactors(), want)
+		}
+	}
+}
+
+// TestCholeskyAppendRowRejectsNonFinite is the regression test for the
+// fail-open health guard: a non-finite border (NaN distances from
+// duplicate support points pushed through a degenerate anisotropy
+// transform) made d2 = diag - v·v NaN, every guard comparison false, and
+// AppendRow returned a sqrt(NaN)-poisoned factor as success. It must
+// report ErrSingular so callers refactorise instead.
+func TestCholeskyAppendRowRejectsNonFinite(t *testing.T) {
+	r := rng.New(92)
+	base, err := FactorizeCholesky(randomSPD(r, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		row  []float64
+		diag float64
+	}{
+		{"nan-row", []float64{1, nan, 0, 2, 1, 0}, 50},
+		{"nan-diag", []float64{1, 0, 0, 2, 1, 0}, nan},
+		{"inf-row", []float64{1, math.Inf(1), 0, 2, 1, 0}, 50},
+		{"inf-diag", []float64{1, 0, 0, 2, 1, 0}, math.Inf(1)},
+	}
+	for _, c := range cases {
+		ext, err := base.AppendRow(c.row, c.diag)
+		if !errors.Is(err, ErrSingular) {
+			t.Errorf("%s: err = %v, want ErrSingular", c.name, err)
+		}
+		if ext != nil {
+			t.Errorf("%s: got a factor alongside the error", c.name)
+		}
+	}
+}
+
+// TestLUExtendRejectsNonFinite: the analogous fail-closed check for the
+// LU border extension's corner pivot.
+func TestLUExtendRejectsNonFinite(t *testing.T) {
+	r := rng.New(93)
+	gen := randomMatrix(r, 6)
+	for i := 0; i < 6; i++ {
+		gen.Set(i, i, gen.At(i, i)+6)
+	}
+	f, err := Factorize(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nan := math.NaN()
+	col := []float64{1, 0, 2, 0, 1, 0}
+	row := []float64{0, 1, 0, 2, 0, 1}
+	cases := []struct {
+		name   string
+		col    []float64
+		row    []float64
+		corner float64
+	}{
+		{"nan-corner", col, row, nan},
+		{"nan-col", []float64{1, nan, 2, 0, 1, 0}, row, 9},
+		{"nan-row", col, []float64{0, 1, nan, 2, 0, 1}, 9},
+		{"inf-corner", col, row, math.Inf(-1)},
+	}
+	for _, c := range cases {
+		ext, err := f.Extend(c.col, c.row, c.corner)
+		if !errors.Is(err, ErrSingular) {
+			t.Errorf("%s: err = %v, want ErrSingular", c.name, err)
+		}
+		if ext != nil {
+			t.Errorf("%s: got a factor alongside the error", c.name)
+		}
+	}
+}

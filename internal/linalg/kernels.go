@@ -1,0 +1,228 @@
+package linalg
+
+// Unrolled numeric kernels shared by the single- and multi-RHS
+// triangular solves. The triangular sweeps are dot-product bound, and a
+// straight `s += a[i]*x[i]` loop serialises on the ~4-cycle latency of
+// the floating-point add; splitting the sum over two independent
+// accumulator chains roughly halves the per-element cost of the
+// single-RHS path.
+//
+// The blocked 4-column variants share each coefficient load across four
+// right-hand sides (the BLAS-3 shape of the batch solves) while keeping
+// the per-column accumulation order IDENTICAL to the single-column
+// kernel: two chains, odd tail element into the first chain, final sum
+// chain0+chain1. That makes a column solved through the batch path
+// bit-identical to the same column solved through SolveInto — the
+// equivalence the kriging batch-prediction tests pin down to the bit.
+
+// dotUnrolled returns a·x over len(a) elements using two accumulator
+// chains. x must have at least len(a) elements.
+func dotUnrolled(a, x []float64) float64 {
+	n := len(a)
+	x = x[:n]
+	var s0, s1 float64
+	i := 0
+	for ; i+1 < n; i += 2 {
+		s0 += a[i] * x[i]
+		s1 += a[i+1] * x[i+1]
+	}
+	if i < n {
+		s0 += a[i] * x[i]
+	}
+	return s0 + s1
+}
+
+// dot4colsGeneric computes the dot of a against four equal-length
+// columns packed contiguously in x (column c occupies
+// x[c*stride : c*stride+n], n = len(a)), starting each column at element
+// offset lo — the argument shape of the blocked triangular sweeps,
+// chosen so the whole call fits in integer registers (five separate
+// slice headers spill part of the argument list to the caller's stack on
+// every per-row call). The loop body is exactly dotUnrolled4's, so each
+// column's accumulation replicates dotUnrolled bit for bit.
+//
+// This is the portable definition of dot4cols; on amd64 the entry point
+// is the SSE2 kernel in dot4cols_amd64.s, which packs each column's two
+// accumulator chains into the two lanes of one XMM register. Packed
+// MULPD/ADDPD are per-lane scalar IEEE-754 operations, so the assembly
+// path is bit-identical to this one — TestDot4ColsMatchesGeneric pins
+// the two together element for element.
+func dot4colsGeneric(a, x []float64, stride, lo int) (r0, r1, r2, r3 float64) {
+	n := len(a)
+	// Two-step slicing: x[lo : lo+n] would leave the length as the
+	// symbolic lo+n-lo, which defeats bounds-check elimination in the
+	// loops below; [:n] pins it to n = len(a) outright.
+	x0 := x[lo:][:n]
+	x1 := x[stride+lo:][:n]
+	x2 := x[2*stride+lo:][:n]
+	x3 := x[3*stride+lo:][:n]
+	var a0, b0, a1, b1, a2, b2, a3, b3 float64
+	i := 0
+	for ; i+3 < n; i += 4 {
+		c0 := a[i]
+		a0 += c0 * x0[i]
+		a1 += c0 * x1[i]
+		a2 += c0 * x2[i]
+		a3 += c0 * x3[i]
+		c1 := a[i+1]
+		b0 += c1 * x0[i+1]
+		b1 += c1 * x1[i+1]
+		b2 += c1 * x2[i+1]
+		b3 += c1 * x3[i+1]
+		c2 := a[i+2]
+		a0 += c2 * x0[i+2]
+		a1 += c2 * x1[i+2]
+		a2 += c2 * x2[i+2]
+		a3 += c2 * x3[i+2]
+		c3 := a[i+3]
+		b0 += c3 * x0[i+3]
+		b1 += c3 * x1[i+3]
+		b2 += c3 * x2[i+3]
+		b3 += c3 * x3[i+3]
+	}
+	for ; i+1 < n; i += 2 {
+		c := a[i]
+		a0 += c * x0[i]
+		a1 += c * x1[i]
+		a2 += c * x2[i]
+		a3 += c * x3[i]
+		d := a[i+1]
+		b0 += d * x0[i+1]
+		b1 += d * x1[i+1]
+		b2 += d * x2[i+1]
+		b3 += d * x3[i+1]
+	}
+	if i < n {
+		c := a[i]
+		a0 += c * x0[i]
+		a1 += c * x1[i]
+		a2 += c * x2[i]
+		a3 += c * x3[i]
+	}
+	return a0 + b0, a1 + b1, a2 + b2, a3 + b3
+}
+
+// dotUnrolled4 computes a·x0, a·x1, a·x2, a·x3 in one pass, loading each
+// coefficient a[i] once for all four columns. Each column's accumulation
+// replicates dotUnrolled exactly: the even-index chain a0..a3 and the
+// odd-index chain b0..b3 are updated in two separate statement groups so
+// at most one coefficient and four products are live at a time — with
+// all eight products in flight the compiler runs out of the 15 usable
+// XMM registers and spills two accumulators into the loop-carried path,
+// which costs more than the shared loads save.
+func dotUnrolled4(a, x0, x1, x2, x3 []float64) (r0, r1, r2, r3 float64) {
+	n := len(a)
+	x0, x1, x2, x3 = x0[:n], x1[:n], x2[:n], x3[:n]
+	var a0, b0, a1, b1, a2, b2, a3, b3 float64
+	i := 0
+	// Four elements per trip halves the loop-control and bounds-check
+	// cost per element; chain parity (even index → a, odd → b) and the
+	// order within each chain are exactly those of the two-wide loop.
+	for ; i+3 < n; i += 4 {
+		c0 := a[i]
+		a0 += c0 * x0[i]
+		a1 += c0 * x1[i]
+		a2 += c0 * x2[i]
+		a3 += c0 * x3[i]
+		c1 := a[i+1]
+		b0 += c1 * x0[i+1]
+		b1 += c1 * x1[i+1]
+		b2 += c1 * x2[i+1]
+		b3 += c1 * x3[i+1]
+		c2 := a[i+2]
+		a0 += c2 * x0[i+2]
+		a1 += c2 * x1[i+2]
+		a2 += c2 * x2[i+2]
+		a3 += c2 * x3[i+2]
+		c3 := a[i+3]
+		b0 += c3 * x0[i+3]
+		b1 += c3 * x1[i+3]
+		b2 += c3 * x2[i+3]
+		b3 += c3 * x3[i+3]
+	}
+	for ; i+1 < n; i += 2 {
+		c := a[i]
+		a0 += c * x0[i]
+		a1 += c * x1[i]
+		a2 += c * x2[i]
+		a3 += c * x3[i]
+		d := a[i+1]
+		b0 += d * x0[i+1]
+		b1 += d * x1[i+1]
+		b2 += d * x2[i+1]
+		b3 += d * x3[i+1]
+	}
+	if i < n {
+		c := a[i]
+		a0 += c * x0[i]
+		a1 += c * x1[i]
+		a2 += c * x2[i]
+		a3 += c * x3[i]
+	}
+	return a0 + b0, a1 + b1, a2 + b2, a3 + b3
+}
+
+// strideDot returns Σ_j d[start+j·stride]·x[j] — the column-access dot
+// of the Cholesky backward sweep — with the same two-chain accumulation
+// as dotUnrolled.
+func strideDot(d []float64, start, stride int, x []float64) float64 {
+	n := len(x)
+	var s0, s1 float64
+	i, p := 0, start
+	for ; i+1 < n; i, p = i+2, p+2*stride {
+		s0 += d[p] * x[i]
+		s1 += d[p+stride] * x[i+1]
+	}
+	if i < n {
+		s0 += d[p] * x[i]
+	}
+	return s0 + s1
+}
+
+// strideDot4 is strideDot over four right-hand-side columns sharing each
+// factor-column load; per-column accumulation replicates strideDot, with
+// the same two-group statement layout as dotUnrolled4 to stay within the
+// XMM register budget.
+func strideDot4(d []float64, start, stride int, x0, x1, x2, x3 []float64) (r0, r1, r2, r3 float64) {
+	n := len(x0)
+	x1, x2, x3 = x1[:n], x2[:n], x3[:n]
+	var a0, b0, a1, b1, a2, b2, a3, b3 float64
+	i, p := 0, start
+	for ; i+1 < n; i, p = i+2, p+2*stride {
+		c := d[p]
+		a0 += c * x0[i]
+		a1 += c * x1[i]
+		a2 += c * x2[i]
+		a3 += c * x3[i]
+		e := d[p+stride]
+		b0 += e * x0[i+1]
+		b1 += e * x1[i+1]
+		b2 += e * x2[i+1]
+		b3 += e * x3[i+1]
+	}
+	if i < n {
+		c := d[p]
+		a0 += c * x0[i]
+		a1 += c * x1[i]
+		a2 += c * x2[i]
+		a3 += c * x3[i]
+	}
+	return a0 + b0, a1 + b1, a2 + b2, a3 + b3
+}
+
+// axpyUnrolled computes y[i] += a·x[i] over len(x) elements, 4-wide.
+// Element updates are independent, so unrolling does not change results.
+func axpyUnrolled(a float64, x, y []float64) {
+	n := len(x)
+	y = y[:n]
+	i := 0
+	for ; i+3 < n; i += 4 {
+		y[i] += a * x[i]
+		y[i+1] += a * x[i+1]
+		y[i+2] += a * x[i+2]
+		y[i+3] += a * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += a * x[i]
+	}
+}

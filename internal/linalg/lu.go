@@ -60,9 +60,7 @@ func Factorize(a *Matrix) (*LU, error) {
 			}
 			ri := lu.Data[i*n : (i+1)*n]
 			rk := lu.Data[k*n : (k+1)*n]
-			for j := k + 1; j < n; j++ {
-				ri[j] -= f * rk[j]
-			}
+			axpyUnrolled(-f, rk[k+1:n], ri[k+1:n])
 		}
 	}
 	return &LU{lu: lu, piv: piv, sign: sign, n: n}, nil
@@ -93,19 +91,12 @@ func (f *LU) SolveInto(dst, b []float64) error {
 	// Forward substitution with unit lower triangle.
 	for i := 1; i < n; i++ {
 		row := f.lu.Data[i*n : (i+1)*n]
-		var s float64
-		for j := 0; j < i; j++ {
-			s += row[j] * x[j]
-		}
-		x[i] -= s
+		x[i] -= dotUnrolled(row[:i], x)
 	}
 	// Backward substitution with upper triangle.
 	for i := n - 1; i >= 0; i-- {
 		row := f.lu.Data[i*n : (i+1)*n]
-		var s float64
-		for j := i + 1; j < n; j++ {
-			s += row[j] * x[j]
-		}
+		s := dotUnrolled(row[i+1:n], x[i+1:n])
 		x[i] = (x[i] - s) / row[i]
 	}
 	return nil
@@ -171,7 +162,9 @@ func (f *LU) Extend(col, row []float64, corner float64) (*LU, error) {
 			scale = d
 		}
 	}
-	if math.Abs(s) < luExtendTol*(scale+1) {
+	// Written so a NaN corner (non-finite border input) fails the check
+	// and rejects the extension instead of poisoning the factor.
+	if !(math.Abs(s) >= luExtendTol*(scale+1)) || math.IsInf(s, 0) {
 		return nil, fmt.Errorf("%w: extended corner pivot %g below health threshold", ErrSingular, s)
 	}
 	last[n] = s

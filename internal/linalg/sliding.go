@@ -1,0 +1,123 @@
+package linalg
+
+import "fmt"
+
+// SlidingRefactorBound caps the length of an AppendRow chain inside a
+// SlidingCholesky: after this many incremental appends the window is
+// refactorised from scratch, bounding the rounding error that O(n²)
+// updates accumulate relative to a fresh O(n³) factorisation. The bound
+// mirrors the kriging cache's maxExtendChain policy.
+const SlidingRefactorBound = 32
+
+// SlidingCholesky maintains the Cholesky factorisation of a sliding
+// window over a growing symmetric positive definite system: Append
+// borders the window with a new row/column (incremental AppendRow, full
+// refactor every SlidingRefactorBound appends or whenever the
+// incremental update is rejected as unsafe), and Drop evicts a
+// row/column via the O(n²) DropRow downdate. Long infill chains use it
+// to keep the support — and so every solve — at bounded n instead of
+// growing without limit.
+//
+// The window matrix is retained so that rejected or due incremental
+// updates can fall back to a from-scratch factorisation without help
+// from the caller.
+type SlidingCholesky struct {
+	a         *Matrix
+	chol      *Cholesky
+	appends   int // incremental appends since the last full factorisation
+	refactors int
+}
+
+// NewSlidingCholesky factorises a and wraps it in a sliding window. The
+// matrix is cloned; the caller's copy is not retained.
+func NewSlidingCholesky(a *Matrix) (*SlidingCholesky, error) {
+	chol, err := FactorizeCholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return &SlidingCholesky{a: a.Clone(), chol: chol}, nil
+}
+
+// Append borders the window with a new row/column (row against the
+// existing entries, diag on the diagonal). The factor is extended
+// incrementally when the chain bound allows and AppendRow accepts the
+// pivot; otherwise the bordered window is refactorised from scratch.
+func (s *SlidingCholesky) Append(row []float64, diag float64) error {
+	n := s.a.Rows
+	if len(row) != n {
+		return fmt.Errorf("%w: appended row length %d, want %d", ErrShape, len(row), n)
+	}
+	m := n + 1
+	na := NewMatrix(m, m)
+	for i := 0; i < n; i++ {
+		copy(na.Data[i*m:i*m+n], s.a.Data[i*n:(i+1)*n])
+		na.Data[i*m+n] = row[i]
+		na.Data[n*m+i] = row[i]
+	}
+	na.Data[n*m+n] = diag
+
+	if s.appends+1 < SlidingRefactorBound {
+		if chol, err := s.chol.AppendRow(row, diag); err == nil {
+			s.a, s.chol = na, chol
+			s.appends++
+			return nil
+		}
+		// Unsafe pivot: fall through to the full refactorisation.
+	}
+	chol, err := FactorizeCholesky(na)
+	if err != nil {
+		return err
+	}
+	s.a, s.chol = na, chol
+	s.appends = 0
+	s.refactors++
+	return nil
+}
+
+// Drop evicts row/column i from the window via the DropRow downdate,
+// falling back to a from-scratch factorisation if the downdate reports
+// an unhealthy diagonal.
+func (s *SlidingCholesky) Drop(i int) error {
+	n := s.a.Rows
+	if i < 0 || i >= n || n <= 1 {
+		return fmt.Errorf("%w: drop row %d of %d", ErrShape, i, n)
+	}
+	m := n - 1
+	na := NewMatrix(m, m)
+	for r, nr := 0, 0; r < n; r++ {
+		if r == i {
+			continue
+		}
+		for c, nc := 0, 0; c < n; c++ {
+			if c == i {
+				continue
+			}
+			na.Data[nr*m+nc] = s.a.Data[r*n+c]
+			nc++
+		}
+		nr++
+	}
+	chol, err := s.chol.DropRow(i)
+	if err != nil {
+		chol, err = FactorizeCholesky(na)
+		if err != nil {
+			return err
+		}
+		s.appends = 0
+		s.refactors++
+	}
+	s.a, s.chol = na, chol
+	return nil
+}
+
+// Factor returns the current window factorisation. The returned factor
+// is immutable (Append/Drop replace rather than mutate it), so it stays
+// valid for concurrent solves across later window updates.
+func (s *SlidingCholesky) Factor() *Cholesky { return s.chol }
+
+// Size returns the current window dimension.
+func (s *SlidingCholesky) Size() int { return s.a.Rows }
+
+// Refactors returns how many full from-scratch factorisations the
+// window has performed (chain-bound hits plus rejected updates).
+func (s *SlidingCholesky) Refactors() int { return s.refactors }

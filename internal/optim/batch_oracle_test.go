@@ -72,3 +72,47 @@ func TestMinPlusOneBatchOracleMatchesSequential(t *testing.T) {
 		t.Error("batch oracle was never used for the competition")
 	}
 }
+
+// TestMaxMinusOneBatchOracleMatchesSequential is the max-1 counterpart:
+// the candidate rounds route through EvaluateBatch without changing the
+// descent, its λ, or the evaluation count.
+func TestMaxMinusOneBatchOracleMatchesSequential(t *testing.T) {
+	field := func(cfg space.Config) float64 {
+		var p float64
+		for _, w := range cfg {
+			q := 1.0
+			for b := 0; b < w; b++ {
+				q /= 2
+			}
+			p += q
+		}
+		return -p
+	}
+	opts := MaxMinusOneOptions{
+		LambdaMin: -0.01,
+		Bounds:    space.Bounds{Lo: space.Config{1, 1, 1}, Hi: space.Config{12, 12, 12}},
+	}
+	seqOracle := OracleFunc(func(cfg space.Config) (float64, error) { return field(cfg), nil })
+	seq, err := MaxMinusOne(bg, seqOracle, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bo := &recordingBatchOracle{fn: field}
+	bat, err := MaxMinusOne(bg, bo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bat.WRes.Equal(seq.WRes) {
+		t.Errorf("batch result %v != sequential %v", bat.WRes, seq.WRes)
+	}
+	if bat.Lambda != seq.Lambda {
+		t.Errorf("batch λ %v != sequential %v", bat.Lambda, seq.Lambda)
+	}
+	if bat.Evaluations != seq.Evaluations || bat.Steps != seq.Steps {
+		t.Errorf("batch evals/steps %d/%d != sequential %d/%d",
+			bat.Evaluations, bat.Steps, seq.Evaluations, seq.Steps)
+	}
+	if bo.batchCalls == 0 {
+		t.Error("batch oracle was never used for the competition")
+	}
+}

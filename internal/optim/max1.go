@@ -59,24 +59,55 @@ func MaxMinusOne(ctx context.Context, oracle Oracle, opts MaxMinusOneOptions) (M
 		}
 		maxIter++
 	}
+	batch, _ := oracle.(BatchOracle)
 	for iter := 0; iter < maxIter; iter++ {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
-		bestVar := -1
-		bestLam := 0.0
+		// The round's competition: one single-bit decrement per variable
+		// not yet at its lower stop.
+		vars := make([]int, 0, nv)
+		cands := make([]space.Config, 0, nv)
 		for i := 0; i < nv; i++ {
 			if w[i] <= opts.Bounds.Lo[i] {
 				continue
 			}
-			cand := w.With(i, w[i]-1)
-			li, err := oracle.Evaluate(ctx, cand)
-			res.Evaluations++
+			vars = append(vars, i)
+			cands = append(cands, w.With(i, w[i]-1))
+		}
+		if len(vars) == 0 {
+			break // every variable is at its lower stop
+		}
+		bestVar := -1
+		bestLam := 0.0
+		if batch != nil && len(cands) > 1 {
+			// The candidates are independent by construction, so a
+			// batch-capable oracle evaluates the whole competition at once
+			// (and a kriging evaluator serves the shared-support round
+			// through one blocked solve); ties keep the lowest variable
+			// index, exactly as in the sequential scan.
+			lams, err := batch.EvaluateBatch(ctx, cands)
 			if err != nil {
-				return res, fmt.Errorf("optim: max-1 evaluation of %v: %w", cand, err)
+				// As in min+1: how much of the failed round executed
+				// depends on the oracle, so it is left out of the count.
+				return res, fmt.Errorf("optim: max-1 batch evaluation: %w", err)
 			}
-			if li >= opts.LambdaMin && (bestVar == -1 || li > bestLam) {
-				bestVar, bestLam = i, li
+			res.Evaluations += len(cands)
+			for j, li := range lams {
+				if li >= opts.LambdaMin && (bestVar == -1 || li > bestLam) {
+					bestVar, bestLam = vars[j], li
+				}
+			}
+		} else {
+			for j, cand := range cands {
+				li, err := oracle.Evaluate(ctx, cand)
+				res.Evaluations++
+				if err != nil {
+					return res, fmt.Errorf("optim: max-1 evaluation of %v: %w", cand, err)
+				}
+				if li >= opts.LambdaMin && (bestVar == -1 || li > bestLam) {
+					bestVar, bestLam = vars[j], li
+				}
 			}
 		}
 		if bestVar == -1 {

@@ -46,9 +46,11 @@ func (f ContextOracleFunc) Evaluate(ctx context.Context, cfg space.Config) (floa
 
 // BatchOracle is an Oracle that can answer several independent queries as
 // one batch — the kriging evaluator's EvaluateAll satisfies it through an
-// adapter. The min+1 competition (Algorithm 2 lines 4-26) hands the Nv
-// single-bit increments of one incumbent to EvaluateBatch when the oracle
-// supports it, so the candidate simulations run on all cores. Results
+// adapter. The min+1 competition (Algorithm 2 lines 4-26) and the max-1
+// competition hand the Nv single-bit perturbations of one incumbent to
+// EvaluateBatch when the oracle supports it, so the candidate simulations
+// run on all cores (and a kriging evaluator can serve the shared-support
+// round through one blocked solve). Results
 // must be indexed like the input and the batch must be equivalent to
 // evaluating the queries one at a time without using one batch member as
 // kriging support for another (see evaluator.EvaluateAll).

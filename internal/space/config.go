@@ -69,52 +69,127 @@ func (c Config) With(i, v int) Config {
 	return out
 }
 
+// The distance kernels below are unrolled four-wide with paired
+// accumulators: the lattice index evaluates them against every candidate
+// in a shell sweep (store NeighborsInto/NearestKInto), so they are among
+// the hottest scalar loops in the system. Integer sums are exact under
+// reordering, and the float accumulators pair up the same way in every
+// call, so results are deterministic and identical across call sites.
+
 // L1 returns the L1 (Manhattan) distance between two configurations,
 // the distance used by the paper (||w - w_sim||_1).
 func L1(a, b Config) int {
-	if len(a) != len(b) {
+	n := len(a)
+	if n != len(b) {
 		panic("space: L1 on configs of different dimension")
 	}
-	d := 0
-	for i, v := range a {
-		if v > b[i] {
-			d += v - b[i]
-		} else {
-			d += b[i] - v
+	b = b[:n]
+	var s0, s1 int
+	i := 0
+	for ; i+3 < n; i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		if d0 < 0 {
+			d0 = -d0
 		}
+		if d1 < 0 {
+			d1 = -d1
+		}
+		if d2 < 0 {
+			d2 = -d2
+		}
+		if d3 < 0 {
+			d3 = -d3
+		}
+		s0 += d0 + d2
+		s1 += d1 + d3
 	}
-	return d
+	for ; i < n; i++ {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		s0 += d
+	}
+	return s0 + s1
 }
 
 // L2 returns the Euclidean distance between two configurations.
 func L2(a, b Config) float64 {
-	if len(a) != len(b) {
+	n := len(a)
+	if n != len(b) {
 		panic("space: L2 on configs of different dimension")
 	}
-	var s float64
-	for i, v := range a {
-		dv := float64(v - b[i])
-		s += dv * dv
+	b = b[:n]
+	var s0, s1 float64
+	i := 0
+	for ; i+1 < n; i += 2 {
+		d0 := float64(a[i] - b[i])
+		d1 := float64(a[i+1] - b[i+1])
+		s0 += d0 * d0
+		s1 += d1 * d1
 	}
-	return math.Sqrt(s)
+	if i < n {
+		d := float64(a[i] - b[i])
+		s0 += d * d
+	}
+	return math.Sqrt(s0 + s1)
 }
 
 // LInf returns the Chebyshev distance between two configurations.
 func LInf(a, b Config) int {
-	if len(a) != len(b) {
+	n := len(a)
+	if n != len(b) {
 		panic("space: LInf on configs of different dimension")
 	}
-	m := 0
-	for i, v := range a {
-		d := v - b[i]
+	b = b[:n]
+	var m0, m1 int
+	i := 0
+	for ; i+3 < n; i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		if d0 < 0 {
+			d0 = -d0
+		}
+		if d1 < 0 {
+			d1 = -d1
+		}
+		if d2 < 0 {
+			d2 = -d2
+		}
+		if d3 < 0 {
+			d3 = -d3
+		}
+		if d2 > d0 {
+			d0 = d2
+		}
+		if d3 > d1 {
+			d1 = d3
+		}
+		if d0 > m0 {
+			m0 = d0
+		}
+		if d1 > m1 {
+			m1 = d1
+		}
+	}
+	for ; i < n; i++ {
+		d := a[i] - b[i]
 		if d < 0 {
 			d = -d
 		}
-		if d > m {
-			m = d
+		if d > m0 {
+			m0 = d
 		}
 	}
-	return m
+	if m1 > m0 {
+		return m1
+	}
+	return m0
 }
 
 // Metric identifies a distance function on the configuration hypercube.
@@ -162,28 +237,54 @@ func (m Metric) DistanceFloats(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("space: distance on vectors of different dimension")
 	}
+	n := len(a)
+	b = b[:n]
 	switch m {
 	case MetricL1:
-		var s float64
-		for i, v := range a {
-			s += math.Abs(v - b[i])
+		var s0, s1 float64
+		i := 0
+		for ; i+1 < n; i += 2 {
+			s0 += math.Abs(a[i] - b[i])
+			s1 += math.Abs(a[i+1] - b[i+1])
 		}
-		return s
+		if i < n {
+			s0 += math.Abs(a[i] - b[i])
+		}
+		return s0 + s1
 	case MetricL2:
-		var s float64
-		for i, v := range a {
-			d := v - b[i]
-			s += d * d
+		var s0, s1 float64
+		i := 0
+		for ; i+1 < n; i += 2 {
+			d0 := a[i] - b[i]
+			d1 := a[i+1] - b[i+1]
+			s0 += d0 * d0
+			s1 += d1 * d1
 		}
-		return math.Sqrt(s)
+		if i < n {
+			d := a[i] - b[i]
+			s0 += d * d
+		}
+		return math.Sqrt(s0 + s1)
 	case MetricLInf:
-		var mx float64
-		for i, v := range a {
-			if d := math.Abs(v - b[i]); d > mx {
-				mx = d
+		var m0, m1 float64
+		i := 0
+		for ; i+1 < n; i += 2 {
+			if d := math.Abs(a[i] - b[i]); d > m0 {
+				m0 = d
+			}
+			if d := math.Abs(a[i+1] - b[i+1]); d > m1 {
+				m1 = d
 			}
 		}
-		return mx
+		if i < n {
+			if d := math.Abs(a[i] - b[i]); d > m0 {
+				m0 = d
+			}
+		}
+		if m1 > m0 {
+			return m1
+		}
+		return m0
 	default:
 		panic("space: unknown metric")
 	}

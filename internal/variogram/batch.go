@@ -1,0 +1,72 @@
+package variogram
+
+import "math"
+
+// GammaInto evaluates γ over a slice of distances in one pass:
+// dst[i] = m.Gamma(h[i]). For the five concrete model families it
+// devirtualises the per-element interface dispatch into a single
+// type-switched loop — the shape the batch kriging RHS build wants,
+// where one model is applied across an entire support × query block.
+// Each specialised loop performs the SAME per-element arithmetic as the
+// corresponding Gamma method, so the results are bit-identical to an
+// element-wise Gamma loop; unknown Model implementations fall back to
+// exactly that loop.
+//
+// dst and h must have equal length; dst may alias h.
+func GammaInto(m Model, dst, h []float64) {
+	if len(dst) != len(h) {
+		panic("variogram: GammaInto length mismatch")
+	}
+	switch v := m.(type) {
+	case *PowerModel:
+		for i, d := range h {
+			if d <= 0 {
+				dst[i] = v.Nugget
+				continue
+			}
+			dst[i] = v.Nugget + v.Alpha*math.Pow(d, v.Beta)
+		}
+	case *LinearModel:
+		for i, d := range h {
+			if d <= 0 {
+				dst[i] = v.Nugget
+				continue
+			}
+			dst[i] = v.Nugget + v.Slope*d
+		}
+	case *SphericalModel:
+		for i, d := range h {
+			if d <= 0 {
+				dst[i] = v.Nugget
+				continue
+			}
+			if d >= v.Range {
+				dst[i] = v.Nugget + v.Sill
+				continue
+			}
+			r := d / v.Range
+			dst[i] = v.Nugget + v.Sill*(1.5*r-0.5*r*r*r)
+		}
+	case *ExponentialModel:
+		for i, d := range h {
+			if d <= 0 {
+				dst[i] = v.Nugget
+				continue
+			}
+			dst[i] = v.Nugget + v.Sill*(1-math.Exp(-d/v.Range))
+		}
+	case *GaussianModel:
+		for i, d := range h {
+			if d <= 0 {
+				dst[i] = v.Nugget
+				continue
+			}
+			r := d / v.Range
+			dst[i] = v.Nugget + v.Sill*(1-math.Exp(-r*r))
+		}
+	default:
+		for i, d := range h {
+			dst[i] = m.Gamma(d)
+		}
+	}
+}

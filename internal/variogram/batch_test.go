@@ -1,0 +1,86 @@
+package variogram
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestGammaIntoMatchesGamma pins the devirtualised batch evaluation to
+// the per-element Gamma methods bit for bit, across every concrete
+// family, the h <= 0 nugget branch, the spherical plateau branch, and
+// the interface fallback.
+func TestGammaIntoMatchesGamma(t *testing.T) {
+	r := rng.New(17)
+	models := []Model{
+		&PowerModel{Alpha: 2.5, Beta: 1.5, Nugget: 0.3},
+		&LinearModel{Slope: 1.7, Nugget: 0.1},
+		&SphericalModel{Sill: 40, Range: 6, Nugget: 0.2},
+		&ExponentialModel{Sill: 40, Range: 6, Nugget: 0.1},
+		&GaussianModel{Sill: 12, Range: 4, Nugget: 0.05},
+		opaqueModel{&SphericalModel{Sill: 3, Range: 2, Nugget: 0}},
+	}
+	h := make([]float64, 257)
+	for i := range h {
+		switch i % 8 {
+		case 0:
+			h[i] = 0
+		case 1:
+			h[i] = -r.Float64()
+		case 2:
+			h[i] = 12 * r.Float64() // straddles the spherical range
+		default:
+			h[i] = 4 * r.Float64()
+		}
+	}
+	dst := make([]float64, len(h))
+	for _, m := range models {
+		GammaInto(m, dst, h)
+		for i, d := range h {
+			if want := m.Gamma(d); dst[i] != want {
+				t.Fatalf("%s: GammaInto[%d] (h=%v) = %v, want %v", m.Name(), i, d, dst[i], want)
+			}
+		}
+	}
+	// In-place evaluation over the distance buffer itself.
+	m := &ExponentialModel{Sill: 40, Range: 6, Nugget: 0.1}
+	GammaInto(m, dst, h)
+	inPlace := append([]float64(nil), h...)
+	GammaInto(m, inPlace, inPlace)
+	for i := range dst {
+		if inPlace[i] != dst[i] {
+			t.Fatalf("in-place GammaInto[%d] = %v, want %v", i, inPlace[i], dst[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	GammaInto(m, dst[:3], h)
+}
+
+// opaqueModel hides the concrete type so GammaInto exercises the
+// interface fallback loop.
+type opaqueModel struct{ inner Model }
+
+func (o opaqueModel) Gamma(h float64) float64 { return o.inner.Gamma(h) }
+func (o opaqueModel) Name() string            { return "opaque" }
+func (o opaqueModel) Params() []float64       { return o.inner.Params() }
+
+// TestAllocsGammaInto keeps the batch evaluation off the heap.
+func TestAllocsGammaInto(t *testing.T) {
+	h := make([]float64, 128)
+	for i := range h {
+		h[i] = float64(i) / 16
+	}
+	dst := make([]float64, len(h))
+	var m Model = &SphericalModel{Sill: 40, Range: 6, Nugget: 0.2}
+	if got := testing.AllocsPerRun(100, func() { GammaInto(m, dst, h) }); got != 0 {
+		t.Fatalf("GammaInto allocated %.1f/op, want 0", got)
+	}
+	if math.IsNaN(dst[0]) {
+		t.Fatal("unexpected NaN")
+	}
+}
