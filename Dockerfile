@@ -1,7 +1,7 @@
 # Multi-stage build for cmd/evald, the evaluation-as-a-service front
-# end. The final image is distroless static: no shell, no libc, nonroot
-# — just the static binary, so the attack surface is the HTTP API and
-# nothing else.
+# end, and cmd/simd, the remote simulation worker. The final image is
+# distroless static: no shell, no libc, nonroot — just the static
+# binaries, so the attack surface is the HTTP API and nothing else.
 #
 #   docker build -t evald .
 #   docker run -p 8080:8080 \
@@ -9,7 +9,12 @@
 #     -v evald-state:/state -e EVALD_STATE_DIR=/state \
 #     evald
 #
-# See docs/DEPLOYMENT.md for configuration, probes and drain behaviour.
+# The same image runs a simulation worker by switching the entrypoint:
+#
+#   docker run -p 9090:9090 -e SIMD_KEY=sim-secret --entrypoint /simd evald
+#
+# See docs/DEPLOYMENT.md for configuration, probes, drain behaviour and
+# the evald + simd fleet topology.
 
 FROM golang:1.23 AS build
 WORKDIR /src
@@ -17,10 +22,12 @@ WORKDIR /src
 # dependency closure; no separate `go mod download` layer is needed.
 COPY go.mod ./
 COPY . .
-RUN CGO_ENABLED=0 go build -trimpath -ldflags='-s -w' -o /out/evald ./cmd/evald
+RUN CGO_ENABLED=0 go build -trimpath -ldflags='-s -w' -o /out/evald ./cmd/evald && \
+    CGO_ENABLED=0 go build -trimpath -ldflags='-s -w' -o /out/simd ./cmd/simd
 
 FROM gcr.io/distroless/static-debian12:nonroot
 COPY --from=build /out/evald /evald
+COPY --from=build /out/simd /simd
 # Durable state mount point; enable with EVALD_STATE_DIR=/state.
 VOLUME /state
 EXPOSE 8080

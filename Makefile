@@ -4,8 +4,9 @@
 BIN        := bin
 IMAGE      ?= evald
 EVALD_ADDR ?= :8080
+SIMD_ADDR  ?= :9090
 
-.PHONY: build test test-full check bench-gate docker run-evald clean
+.PHONY: build test test-full check bench-gate docker run-evald run-simd clean
 
 # Build every command into ./bin.
 build:
@@ -40,6 +41,13 @@ docker:
 # FIR benchmark — the quickest way to poke the API locally.
 run-evald:
 	EVALD_ADDR=$(EVALD_ADDR) go run ./cmd/evald
+
+# Run one remote simulation worker from source on $(SIMD_ADDR). Start a
+# few (distinct SIMD_ADDR), then point evald at them with
+# EVALD_SIM_WORKERS=http://127.0.0.1:9090,... — every worker must share
+# SIMD_BENCH/SIMD_SIZE/SIMD_SEED with the pool.
+run-simd:
+	SIMD_ADDR=$(SIMD_ADDR) go run ./cmd/simd
 
 clean:
 	rm -rf $(BIN)

@@ -7,9 +7,13 @@
 // Configuration is environment-driven (see internal/config): EVALD_ADDR,
 // EVALD_BENCH, EVALD_SIZE, EVALD_SEED, EVALD_WORKERS, EVALD_MAX_SIMS,
 // EVALD_STATE_DIR, EVALD_D, EVALD_NNMIN, EVALD_MAX_SUPPORT,
-// EVALD_API_KEYS, EVALD_DRAIN_GRACE, EVALD_REQUEST_TIMEOUT. With no
+// EVALD_API_KEYS, EVALD_DRAIN_GRACE, EVALD_REQUEST_TIMEOUT,
+// EVALD_SIM_WORKERS, EVALD_SIM_HEDGE, EVALD_SIM_WORKER_CAP. With no
 // environment at all it serves the small FIR benchmark on :8080,
-// unauthenticated.
+// unauthenticated, simulating in-process; EVALD_SIM_WORKERS moves
+// simulation onto a pool of remote simd workers (see cmd/simd and
+// internal/simpool) while the evaluator — store, kriging, coalescing —
+// stays here.
 //
 // Endpoints:
 //
@@ -36,6 +40,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/evaluator"
 	"repro/internal/httpapi"
+	"repro/internal/simpool"
 )
 
 func main() {
@@ -55,8 +60,25 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sim, err := sp.NewSimulator(cfg.Seed)
-	if err != nil {
+	// In-process simulation is the default fast path; EVALD_SIM_WORKERS
+	// swaps in the remote pool, which the rest of the stack — engine,
+	// coalescing, batch path — rides unchanged as a ContextSimulator.
+	var sim evaluator.Simulator
+	var pool *simpool.Pool
+	if len(cfg.SimWorkers) > 0 {
+		pool, err = simpool.NewPool(simpool.Options{
+			Workers:      cfg.SimWorkers,
+			Nv:           sp.Nv,
+			PerWorkerCap: cfg.SimWorkerCap,
+			HedgeDelay:   cfg.SimHedge,
+			Logger:       logger,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer pool.Close()
+		sim = pool
+	} else if sim, err = sp.NewSimulator(cfg.Seed); err != nil {
 		log.Fatal(err)
 	}
 
@@ -91,6 +113,7 @@ func main() {
 		Bounds:         &sp.Bounds,
 		DefaultTimeout: cfg.RequestTimeout,
 		Logger:         logger,
+		Pool:           pool,
 	})
 
 	ln, err := net.Listen("tcp", cfg.Addr)
@@ -102,7 +125,8 @@ func main() {
 	logger.Info("serving",
 		"addr", ln.Addr().String(), "bench", sp.Name, "nv", sp.Nv,
 		"max_sims", cfg.MaxSims, "tenants", len(tenants),
-		"state_dir", cfg.StateDir, "auth", len(tenants) > 0)
+		"state_dir", cfg.StateDir, "auth", len(tenants) > 0,
+		"sim_workers", len(cfg.SimWorkers))
 
 	// ServeListener owns the drain: on the first signal it stops
 	// accepting, waits out the in-flight futures, and closes the store.

@@ -1,0 +1,82 @@
+// Command simd is the remote simulation worker: one process wrapping
+// one benchmark simulator behind POST /v1/simulate, with per-worker
+// concurrency slots, API-key authentication and a graceful drain. A
+// fleet of simd processes behind internal/simpool.Pool gives evald (or
+// wlopt -sim-workers) N machines' worth of simulator capacity while the
+// evaluator — exact store, kriging, coalescing — stays in one place.
+//
+// Configuration is environment-driven (see internal/config): SIMD_ADDR,
+// SIMD_BENCH, SIMD_SIZE, SIMD_SEED, SIMD_KEY, SIMD_CAPACITY,
+// SIMD_DRAIN_GRACE. With no environment at all it serves the small FIR
+// simulator on :9090, unauthenticated, one simulation at a time. Every
+// worker of one pool must share SIMD_BENCH/SIMD_SIZE/SIMD_SEED — the
+// pool's hedged duplicates and requeues assume all workers compute the
+// same λ for the same configuration (it probes /healthz for an Nv
+// mismatch, but identical seeds are the operator's contract).
+//
+// Endpoints:
+//
+//	POST /v1/simulate   {"config":[8,12,10]} -> {"lambda":-1.2e-5}
+//	GET  /healthz       {"status":"ok","nv":3,"capacity":2,...}
+//
+// On SIGINT/SIGTERM the worker drains: /healthz turns 503 (so the pool
+// quarantines it and requeues around it), new simulations are refused,
+// and in-flight ones finish within SIMD_DRAIN_GRACE.
+package main
+
+import (
+	"log"
+	"log/slog"
+	"net"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/cli"
+	"repro/internal/config"
+	"repro/internal/simpool"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simd: ")
+	cfg, err := config.SimdFromEnv()
+	if err != nil {
+		log.Fatal(err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	size, err := cli.ParseSize(cfg.Size)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp, err := bench.SpecByName(cfg.Bench, size)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := sp.NewSimulator(cfg.Seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	worker := simpool.NewWorker(simpool.WorkerOptions{
+		Sim:      sim,
+		Key:      cfg.Key,
+		Capacity: cfg.Capacity,
+		Logger:   logger,
+	})
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	logger.Info("serving",
+		"addr", ln.Addr().String(), "bench", sp.Name, "nv", sp.Nv,
+		"capacity", cfg.Capacity, "auth", cfg.Key != "")
+
+	if err := worker.ServeListener(ctx, ln, cfg.DrainGrace); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	logger.Info("drained cleanly")
+}

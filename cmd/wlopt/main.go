@@ -7,7 +7,8 @@
 //
 //	wlopt [-bench fir|iir|fft|hevc] [-d n] [-nnmin n] [-lambda dB]
 //	      [-size small|full] [-seed n] [-nokriging] [-workers n]
-//	      [-state dir]
+//	      [-state dir] [-sim-workers url:key,...] [-sim-hedge d]
+//	      [-sim-cap n]
 //
 // With -workers > 1 (or 0 for GOMAXPROCS) the min+1 competition evaluates
 // its candidate word-length vectors as one parallel batch per greedy
@@ -32,6 +33,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/evaluator"
 	"repro/internal/optim"
+	"repro/internal/simpool"
 	"repro/internal/space"
 )
 
@@ -48,6 +50,9 @@ func main() {
 		refine    = flag.Bool("refine", false, "run a ±1 local search after the optimiser")
 		workers   = flag.Int("workers", 1, "parallel simulations per competition round (0 = GOMAXPROCS)")
 		stateDir  = flag.String("state", "", "state directory for a durable support store (resume interrupted campaigns)")
+		simWork   = flag.String("sim-workers", "", "comma-separated remote simd workers as url[:key]; empty simulates in-process")
+		simHedge  = flag.Duration("sim-hedge", 0, "remote pool straggler hedge delay (0 = pool default)")
+		simCap    = flag.Int("sim-cap", 0, "max outstanding requests per remote worker (0 = pool default)")
 	)
 	flag.Parse()
 	ctx, stop := cli.SignalContext()
@@ -59,8 +64,27 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sim, err := sp.NewSimulator(common.Seed)
-	if err != nil {
+	// -sim-workers runs the campaign's simulations on remote simd
+	// processes (which must serve the same -bench/-size/-seed); the
+	// evaluator, store and optimiser stay in this process.
+	var sim evaluator.Simulator
+	if *simWork != "" {
+		specs, err := simpool.ParseWorkerSpecs(*simWork)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pool, err := simpool.NewPool(simpool.Options{
+			Workers:      specs,
+			Nv:           sp.Nv,
+			PerWorkerCap: *simCap,
+			HedgeDelay:   *simHedge,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer pool.Close()
+		sim = pool
+	} else if sim, err = sp.NewSimulator(common.Seed); err != nil {
 		log.Fatal(err)
 	}
 	opts := evaluator.Options{D: *d, NnMin: *nnMin, MaxSupport: 10}

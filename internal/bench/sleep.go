@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/evaluator"
+	"repro/internal/fnv1a"
+	"repro/internal/optim"
+	"repro/internal/space"
+)
+
+// SleepSimulator is a synthetic benchmark whose cost is pure, tunable
+// latency: λ follows the standard quantisation-noise model
+// (Σ 2^(-2·wᵢ), negated) with a deterministic per-configuration jitter,
+// and every evaluation sleeps for a fixed Latency first. It exists for
+// the remote simulator pool — tests and benchmarks that need a
+// simulator whose wall-clock dominance is exact, reproducible across
+// processes from (seed, config) alone, and cheap on CPU so dozens of
+// worker processes can run on one test machine.
+type SleepSimulator struct {
+	// NumVars is the configuration dimensionality.
+	NumVars int
+	// Latency is the artificial cost of one evaluation.
+	Latency time.Duration
+	// Seed perturbs the deterministic jitter, so differently seeded
+	// simulators disagree — the twin-run tests rely on equal seeds
+	// producing bit-identical λ in separate processes.
+	Seed uint64
+}
+
+// Nv returns the configuration dimensionality.
+func (s *SleepSimulator) Nv() int { return s.NumVars }
+
+// Evaluate is EvaluateContext without a deadline.
+func (s *SleepSimulator) Evaluate(cfg space.Config) (float64, error) {
+	return s.EvaluateContext(context.Background(), cfg)
+}
+
+// EvaluateContext sleeps Latency (honouring cancellation) and returns
+// the deterministic noise power of cfg.
+func (s *SleepSimulator) EvaluateContext(ctx context.Context, cfg space.Config) (float64, error) {
+	if len(cfg) != s.NumVars {
+		return 0, fmt.Errorf("bench: sleep simulator got %d variables, want %d", len(cfg), s.NumVars)
+	}
+	if s.Latency > 0 {
+		t := time.NewTimer(s.Latency)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return 0, ctx.Err()
+		}
+	}
+	// Quantisation-noise model: each w-bit variable contributes 2^(-2w),
+	// scaled by a per-config jitter in [0.75, 1.25) hashed from
+	// (seed, config). The jitter is far below the 4x-per-bit term ratio,
+	// so λ stays monotone in every variable and min+1 behaves.
+	h := fnv1a.Mix(fnv1a.Offset, s.Seed)
+	power := 0.0
+	for _, w := range cfg {
+		h = fnv1a.Mix(h, uint64(uint(w)))
+		power += math.Exp2(-2 * float64(w))
+	}
+	jitter := 0.75 + 0.5*float64(h>>11)/float64(1<<53)
+	return -power * jitter, nil
+}
+
+// NewSleepSpec builds the "sleep" benchmark: Nv = 3, bounds [2, 16],
+// λ_min = -1e-4 (-40 dB). Small sleeps 2ms per evaluation, Full 20ms.
+func NewSleepSpec(size Size) (*Spec, error) {
+	latency := 2 * time.Millisecond
+	if size == Full {
+		latency = 20 * time.Millisecond
+	}
+	sp := &Spec{
+		Name:      "sleep",
+		Metric:    "Noise Power",
+		Nv:        3,
+		ErrKind:   evaluator.ErrorBits,
+		Bounds:    space.UniformBounds(3, 2, 16),
+		LambdaMin: -1e-4,
+	}
+	sp.NewSimulator = func(seed uint64) (evaluator.Simulator, error) {
+		return &SleepSimulator{NumVars: sp.Nv, Latency: latency, Seed: seed}, nil
+	}
+	sp.Record = func(ctx context.Context, seed uint64) (evaluator.Trace, error) {
+		sim, err := sp.NewSimulator(seed)
+		if err != nil {
+			return nil, err
+		}
+		return recordMinPlusOne(ctx, sim, optim.MinPlusOneOptions{
+			LambdaMin: sp.LambdaMin,
+			Bounds:    sp.Bounds,
+		})
+	}
+	return sp, nil
+}

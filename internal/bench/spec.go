@@ -271,6 +271,8 @@ func SpecByName(name string, size Size) (*Spec, error) {
 		return NewHEVCSSIMSpec(size)
 	case "squeezenet":
 		return NewSqueezeNetSpec(size)
+	case "sleep":
+		return NewSleepSpec(size)
 	default:
 		return nil, fmt.Errorf("bench: unknown benchmark %q", name)
 	}

@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/simpool"
 )
 
 // Tenant is one API-key principal of the service.
@@ -78,6 +80,21 @@ type Config struct {
 	// client sends none (EVALD_REQUEST_TIMEOUT, default 60s; 0 means no
 	// default deadline).
 	RequestTimeout time.Duration
+	// SimWorkers, when non-empty, replaces the in-process simulator
+	// with the remote worker pool (EVALD_SIM_WORKERS): comma-separated
+	// url[:key] specs, e.g.
+	// "http://simd1:9090:s3cret,http://simd2:9090:s3cret". The key is
+	// taken after the URL's last colon; an all-digit suffix is read as a
+	// port, so purely numeric keys are not representable. Empty (the
+	// default) keeps simulation in-process — the fast path.
+	SimWorkers []simpool.WorkerSpec
+	// SimHedge is the pool's straggler hedge delay (EVALD_SIM_HEDGE,
+	// default 0 = the pool's built-in 100ms).
+	SimHedge time.Duration
+	// SimWorkerCap bounds the requests outstanding on one remote worker
+	// (EVALD_SIM_WORKER_CAP, default 0 = the pool's built-in 4); match
+	// it to the workers' SIMD_CAPACITY.
+	SimWorkerCap int
 }
 
 // FromEnv loads the configuration from the process environment.
@@ -143,11 +160,25 @@ func FromGetenv(getenv func(string) string) (Config, error) {
 	if cfg.RequestTimeout, err = durVar(getenv, "EVALD_REQUEST_TIMEOUT", cfg.RequestTimeout); err != nil {
 		return cfg, err
 	}
+	if v := getenv("EVALD_SIM_WORKERS"); v != "" {
+		if cfg.SimWorkers, err = simpool.ParseWorkerSpecs(v); err != nil {
+			return cfg, fmt.Errorf("config: EVALD_SIM_WORKERS: %w", err)
+		}
+	}
+	if cfg.SimHedge, err = durVar(getenv, "EVALD_SIM_HEDGE", cfg.SimHedge); err != nil {
+		return cfg, err
+	}
+	if cfg.SimWorkerCap, err = intVar(getenv, "EVALD_SIM_WORKER_CAP", cfg.SimWorkerCap); err != nil {
+		return cfg, err
+	}
 	if cfg.Workers < 0 {
 		return cfg, fmt.Errorf("config: EVALD_WORKERS %d is negative", cfg.Workers)
 	}
 	if cfg.MaxSims < 0 {
 		return cfg, fmt.Errorf("config: EVALD_MAX_SIMS %d is negative", cfg.MaxSims)
+	}
+	if cfg.SimWorkerCap < 0 {
+		return cfg, fmt.Errorf("config: EVALD_SIM_WORKER_CAP %d is negative", cfg.SimWorkerCap)
 	}
 	return cfg, nil
 }

@@ -1,0 +1,82 @@
+package config
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+// Simd is the simd worker-process configuration. Like Config it is
+// environment-driven with working defaults: `simd` with no environment
+// serves the small FIR simulator on :9090, unauthenticated, one
+// simulation at a time.
+type Simd struct {
+	// Addr is the listen address (SIMD_ADDR, default ":9090").
+	Addr string
+	// Bench selects the simulator the worker serves — any
+	// bench.SpecByName benchmark (SIMD_BENCH, default "fir"). Every
+	// worker of one pool must serve the same benchmark.
+	Bench string
+	// Size is the benchmark size, "small" or "full" (SIMD_SIZE, default
+	// "small").
+	Size string
+	// Seed is the simulator seed (SIMD_SEED, default 1). Workers of one
+	// pool must share it: hedged duplicates and requeues assume every
+	// worker computes the same λ for the same configuration.
+	Seed uint64
+	// Key is the API key the worker requires (SIMD_KEY); empty disables
+	// authentication — development mode only.
+	Key string
+	// Capacity bounds concurrent simulations on this worker
+	// (SIMD_CAPACITY, default 1 — the model of one exclusive simulator
+	// license/core per process).
+	Capacity int
+	// DrainGrace bounds how long a SIGTERM drain waits for in-flight
+	// simulations (SIMD_DRAIN_GRACE, default 30s).
+	DrainGrace time.Duration
+}
+
+// SimdFromEnv loads the worker configuration from the process
+// environment.
+func SimdFromEnv() (Simd, error) { return SimdFromGetenv(os.Getenv) }
+
+// SimdFromGetenv loads the worker configuration through an explicit
+// lookup function, so tests inject environments without mutating the
+// process.
+func SimdFromGetenv(getenv func(string) string) (Simd, error) {
+	cfg := Simd{
+		Addr:       ":9090",
+		Bench:      "fir",
+		Size:       "small",
+		Seed:       1,
+		Capacity:   1,
+		DrainGrace: 30 * time.Second,
+	}
+	if v := getenv("SIMD_ADDR"); v != "" {
+		cfg.Addr = v
+	}
+	if v := getenv("SIMD_BENCH"); v != "" {
+		cfg.Bench = v
+	}
+	if v := getenv("SIMD_SIZE"); v != "" {
+		if v != "small" && v != "full" {
+			return cfg, fmt.Errorf("config: SIMD_SIZE %q (want small or full)", v)
+		}
+		cfg.Size = v
+	}
+	var err error
+	if cfg.Seed, err = uintVar(getenv, "SIMD_SEED", cfg.Seed); err != nil {
+		return cfg, err
+	}
+	cfg.Key = getenv("SIMD_KEY")
+	if cfg.Capacity, err = intVar(getenv, "SIMD_CAPACITY", cfg.Capacity); err != nil {
+		return cfg, err
+	}
+	if cfg.Capacity < 1 {
+		return cfg, fmt.Errorf("config: SIMD_CAPACITY %d (want >= 1)", cfg.Capacity)
+	}
+	if cfg.DrainGrace, err = durVar(getenv, "SIMD_DRAIN_GRACE", cfg.DrainGrace); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}

@@ -320,10 +320,25 @@ func (e *Evaluator) Preload(entries []store.Entry) int {
 	return e.store.AddBatch(entries)
 }
 
+// remoteCounter is the structural interface a remote simulator pool
+// exposes (internal/simpool.Pool satisfies it); sniffing it here keeps
+// the evaluator free of any import of the pool layer.
+type remoteCounter interface {
+	RemoteSimCounts() (nremote, nhedged, nretried, nrequeued uint64)
+}
+
 // Stats returns a snapshot of the activity counters. While evaluations
 // are in flight on other goroutines the snapshot is approximate; it is
-// exact once they have returned.
-func (e *Evaluator) Stats() Stats { return e.stats.snapshot() }
+// exact once they have returned. When the simulator is a remote worker
+// pool, the snapshot carries its scheduler counters too.
+func (e *Evaluator) Stats() Stats {
+	st := e.stats.snapshot()
+	if rc, ok := e.sim.(remoteCounter); ok {
+		nr, nh, nt, nq := rc.RemoteSimCounts()
+		st.NRemoteSims, st.NHedged, st.NRetried, st.NRequeued = int(nr), int(nh), int(nt), int(nq)
+	}
+	return st
+}
 
 // InFlight returns the number of simulations currently registered in the
 // single-flight table — a point-in-time gauge of distinct configurations

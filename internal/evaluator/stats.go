@@ -31,6 +31,19 @@ type Stats struct {
 	// quantity the Eq. 2 model needs — rather than the wall-clock of the
 	// parallel region.
 	SimTime, InterpTime time.Duration
+	// Remote scheduler counters, filled when the simulator is a remote
+	// worker pool (anything exposing RemoteSimCounts — see
+	// internal/simpool); all zero for in-process simulation.
+	// NRemoteSims counts successful remote simulations INCLUDING hedge
+	// duplicates, so NRemoteSims - NSim is the duplicate work bought as
+	// straggler insurance; NHedged counts duplicate dispatches (hedges +
+	// idle-worker steals), NRetried re-dispatches after retryable worker
+	// failures, and NRequeued in-flight configurations recovered from a
+	// dead worker onto a survivor.
+	NRemoteSims int
+	NHedged     int
+	NRetried    int
+	NRequeued   int
 }
 
 // Total returns the number of evaluated configurations.

@@ -64,6 +64,27 @@ type statsResponse struct {
 	ActiveSims          int     `json:"active_sims"`
 	MaxSims             int     `json:"max_sims"`
 	Draining            bool    `json:"draining"`
+	// Remote simulator pool counters and per-worker gauges; present only
+	// when the evaluator runs on a simpool.Pool. NRemoteSims counts
+	// successful remote simulations including hedge duplicates, so
+	// nremote_sims - nsim is the duplicate work bought as straggler
+	// insurance.
+	NRemoteSims int           `json:"nremote_sims,omitempty"`
+	NHedged     int           `json:"nhedged,omitempty"`
+	NRetried    int           `json:"nretried,omitempty"`
+	NRequeued   int           `json:"nrequeued,omitempty"`
+	SimWorkers  []workerGauge `json:"sim_workers,omitempty"`
+}
+
+// workerGauge is one remote worker's live row in /v1/stats.
+type workerGauge struct {
+	URL         string  `json:"url"`
+	Inflight    int     `json:"inflight"`
+	Quarantined bool    `json:"quarantined"`
+	Dispatched  uint64  `json:"dispatched"`
+	Failures    uint64  `json:"failures"`
+	P50MS       float64 `json:"p50_ms"`
+	P99MS       float64 `json:"p99_ms"`
 }
 
 // errorResponse is the uniform error body.
@@ -229,7 +250,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // handleStats answers GET /v1/stats.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.ev.Stats()
-	writeJSON(w, http.StatusOK, statsResponse{
+	resp := statsResponse{
 		NSim:                st.NSim,
 		NInterp:             st.NInterp,
 		NCoalesced:          st.NCoalesced,
@@ -245,7 +266,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ActiveSims:          s.engine.ActiveSims(),
 		MaxSims:             s.engine.MaxSims(),
 		Draining:            s.draining.Load(),
-	})
+		NRemoteSims:         st.NRemoteSims,
+		NHedged:             st.NHedged,
+		NRetried:            st.NRetried,
+		NRequeued:           st.NRequeued,
+	}
+	if s.pool != nil {
+		ps := s.pool.Stats()
+		resp.SimWorkers = make([]workerGauge, len(ps.Workers))
+		for i, w := range ps.Workers {
+			resp.SimWorkers[i] = workerGauge{
+				URL:         w.URL,
+				Inflight:    w.Inflight,
+				Quarantined: w.Quarantined,
+				Dispatched:  w.Dispatched,
+				Failures:    w.Failures,
+				P50MS:       float64(w.P50) / float64(time.Millisecond),
+				P99MS:       float64(w.P99) / float64(time.Millisecond),
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleHealthz reports process liveness: 200 whenever the server can

@@ -69,12 +69,18 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 }
 
 // logRequests emits one structured line per request: method, path,
-// status, latency, tenant, and — for simulated answers — whether the
-// request coalesced onto another request's simulation.
+// status, latency, tenant, for simulated answers whether the request
+// coalesced onto another request's simulation, and — when the
+// evaluator runs on a remote simulator pool — the pool activity the
+// request triggered (remote simulations, hedges, retries, requeues).
 func (s *Server) logRequests(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		info := &reqInfo{tenant: "anonymous"}
 		sw := &statusWriter{ResponseWriter: w}
+		var r0, h0, t0, q0 uint64
+		if s.pool != nil {
+			r0, h0, t0, q0 = s.pool.RemoteSimCounts()
+		}
 		start := time.Now()
 		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, info)))
 		if sw.status == 0 {
@@ -89,6 +95,14 @@ func (s *Server) logRequests(next http.Handler) http.Handler {
 		}
 		if info.hasCoal {
 			attrs = append(attrs, "coalesced", info.coalesced)
+		}
+		if s.pool != nil {
+			// Deltas are approximate under concurrent requests (the
+			// counters are pool-global), but exact on a quiet service —
+			// where per-request attribution is actually read.
+			r1, h1, t1, q1 := s.pool.RemoteSimCounts()
+			attrs = append(attrs,
+				"remote_sims", r1-r0, "hedged", h1-h0, "retried", t1-t0, "requeued", q1-q0)
 		}
 		s.logger.Info("request", attrs...)
 	})

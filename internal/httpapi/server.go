@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/evaluator"
+	"repro/internal/simpool"
 	"repro/internal/space"
 )
 
@@ -64,6 +65,11 @@ type Options struct {
 	// Logger receives one structured line per API request; nil selects
 	// slog.Default().
 	Logger *slog.Logger
+	// Pool, when non-nil, is the remote simulator pool the evaluator
+	// runs on; /v1/stats then carries its per-worker gauges and the
+	// request log lines its activity deltas. Purely observational — the
+	// evaluator owns the pool's use and lifecycle.
+	Pool *simpool.Pool
 }
 
 // Server is the evald HTTP front end. Build one with New, mount
@@ -77,6 +83,7 @@ type Server struct {
 	defaultTimeout time.Duration
 	maxBatch       int
 	logger         *slog.Logger
+	pool           *simpool.Pool
 	tenants        []*tenantState
 	anonymous      bool
 	draining       atomic.Bool
@@ -113,6 +120,7 @@ func New(opts Options) *Server {
 		defaultTimeout: opts.DefaultTimeout,
 		maxBatch:       maxBatch,
 		logger:         logger,
+		pool:           opts.Pool,
 		anonymous:      len(opts.Tenants) == 0,
 	}
 	for _, t := range opts.Tenants {

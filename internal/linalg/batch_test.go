@@ -123,11 +123,11 @@ func TestSolveBatchShapeErrors(t *testing.T) {
 		dst, b []float64
 		k      int
 	}{
-		{buf, buf, 3},            // length n*4 declared as k=3
-		{buf[:n*3], buf, 4},      // short dst
-		{buf, buf[:n*3], 4},      // short rhs
-		{buf, buf, -1},           // negative k
-		{buf[:0], buf[:0], 1},    // empty block, k=1
+		{buf, buf, 3},         // length n*4 declared as k=3
+		{buf[:n*3], buf, 4},   // short dst
+		{buf, buf[:n*3], 4},   // short rhs
+		{buf, buf, -1},        // negative k
+		{buf[:0], buf[:0], 1}, // empty block, k=1
 	}
 	for i, c := range cases {
 		if err := chol.SolveBatchInto(c.dst, c.b, c.k); !errors.Is(err, ErrShape) {

@@ -1,0 +1,36 @@
+// Package simpool decouples simulation from evaluation: the expensive
+// Simulator runs in separate worker processes (cmd/simd) and the
+// evaluator schedules over HTTP through a client-side Pool that looks,
+// to the rest of the system, like just another context-aware simulator.
+// The Engine, single-flight coalescing, the batch path and evald all
+// ride it unchanged — N machines' worth of simulator capacity serving
+// one evaluator is what lets simulation stop being the wall-clock
+// dominator.
+//
+// The two halves:
+//
+//   - Worker is the server side: it wraps any Simulator behind
+//     POST /v1/simulate with per-worker concurrency slots, API-key
+//     authentication, strict JSON decoding, GET /healthz, a graceful
+//     drain gate and structured request logging — the same middleware
+//     discipline as internal/httpapi, without depending on it.
+//
+//   - Pool is the client-side scheduler: per-worker outstanding-request
+//     accounting with least-loaded dispatch, work-stealing onto idle
+//     workers, bounded exponential backoff with jittered retries,
+//     hedged duplicate dispatch for stragglers, and retry-on-worker-
+//     death — a worker that fails transport or health checks is
+//     quarantined, its in-flight configurations are requeued onto the
+//     survivors, and a background probe admits it back with backoff.
+//
+// Hedging and stealing are safe because simulation is deterministic per
+// configuration: the first response wins, duplicates merely burn spare
+// worker capacity (they are counted separately in Stats), and the
+// evaluator's single-flight table already deduplicates at the request
+// layer, so no duplicate ever reaches the store.
+//
+// The package is stdlib-only (net/http + encoding/json), keeping the
+// module dependency-free, and imports nothing above internal/space: the
+// evaluator consumes a Pool purely through its ContextSimulator-shaped
+// method set.
+package simpool

@@ -1,0 +1,357 @@
+package simpool_test
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cli"
+	"repro/internal/config"
+	"repro/internal/evaluator"
+	"repro/internal/raceflag"
+	"repro/internal/simpool"
+	"repro/internal/space"
+)
+
+// Real-process tests, in the torture rig's re-exec style: the test
+// binary doubles as a simd worker (selected by the env var below), so
+// kill -9 recovery and the multi-process speedup claim are proven
+// against actual processes over actual sockets, not httptest stand-ins.
+
+const simdChildEnv = "REPRO_SIMD_CHILD"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(simdChildEnv) != "" {
+		simdChild()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// simdChild mirrors cmd/simd — same config package, same Worker, same
+// ServeListener — plus one line on stdout handing the parent the bound
+// address, so workers can listen on 127.0.0.1:0.
+func simdChild() {
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "simd child: %v\n", err)
+		os.Exit(7)
+	}
+	cfg, err := config.SimdFromEnv()
+	if err != nil {
+		fail(err)
+	}
+	size, err := cli.ParseSize(cfg.Size)
+	if err != nil {
+		fail(err)
+	}
+	sp, err := bench.SpecByName(cfg.Bench, size)
+	if err != nil {
+		fail(err)
+	}
+	sim, err := sp.NewSimulator(cfg.Seed)
+	if err != nil {
+		fail(err)
+	}
+	worker := simpool.NewWorker(simpool.WorkerOptions{Sim: sim, Key: cfg.Key, Capacity: cfg.Capacity})
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("SIMD_LISTENING %s\n", ln.Addr().String())
+	// The parent stops this process with SIGKILL; the context never
+	// fires.
+	if err := worker.ServeListener(context.Background(), ln, time.Second); err != nil {
+		fail(err)
+	}
+}
+
+// startSimd spawns one simd worker process and waits for its address.
+// env overrides the defaults (sleep benchmark, small, seed 42,
+// capacity 2, ephemeral port).
+func startSimd(t testing.TB, env map[string]string) (string, *exec.Cmd) {
+	t.Helper()
+	vars := map[string]string{
+		simdChildEnv:    "1",
+		"SIMD_ADDR":     "127.0.0.1:0",
+		"SIMD_BENCH":    "sleep",
+		"SIMD_SIZE":     "small",
+		"SIMD_SEED":     "42",
+		"SIMD_CAPACITY": "2",
+	}
+	for k, v := range env {
+		vars[k] = v
+	}
+	cmd := exec.Command(os.Args[0])
+	for _, kv := range os.Environ() {
+		if !strings.HasPrefix(kv, "SIMD_") {
+			cmd.Env = append(cmd.Env, kv)
+		}
+	}
+	for k, v := range vars {
+		cmd.Env = append(cmd.Env, k+"="+v)
+	}
+	cmd.Stderr = io.Discard
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if addr, ok := strings.CutPrefix(sc.Text(), "SIMD_LISTENING "); ok {
+			return "http://" + addr, cmd
+		}
+	}
+	t.Fatalf("simd child exited before announcing its address (scan err: %v)", sc.Err())
+	return "", nil
+}
+
+// startSimdPool spawns n worker processes and a pool over them.
+func startSimdPool(t testing.TB, n int, opts simpool.Options) (*simpool.Pool, []*exec.Cmd) {
+	t.Helper()
+	cmds := make([]*exec.Cmd, n)
+	opts.Workers = make([]simpool.WorkerSpec, n)
+	for i := 0; i < n; i++ {
+		url, cmd := startSimd(t, nil)
+		opts.Workers[i] = simpool.WorkerSpec{URL: url}
+		cmds[i] = cmd
+	}
+	opts.Nv = 3
+	if opts.PerWorkerCap == 0 {
+		opts.PerWorkerCap = 2
+	}
+	pool, err := simpool.NewPool(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pool.Close)
+	return pool, cmds
+}
+
+// timeBatch runs 64 colliding-free queries through a fresh evaluator on
+// the pool (D=0: every query simulates) and returns the wall-clock.
+func timeBatch(t testing.TB, pool *simpool.Pool, cfgs []space.Config) time.Duration {
+	t.Helper()
+	ev, err := evaluator.New(pool, evaluator.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	start := time.Now()
+	results, err := ev.EvaluateAllContext(ctx, cfgs, 16)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if want := sleepLambda(t, 42, cfgs[i]); res.Lambda != want {
+			t.Fatalf("cfg %v: lambda = %v, want %v", cfgs[i], res.Lambda, want)
+		}
+	}
+	return elapsed
+}
+
+// TestRemoteSimPoolSpeedup is the acceptance benchmark as a test: four
+// capacity-2 worker processes must complete a 64-query batch of 2ms
+// simulations at least 3x faster than one.
+func TestRemoteSimPoolSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes; skipped in -short")
+	}
+	if raceflag.Enabled {
+		t.Skip("wall-clock ratio assertion; race instrumentation makes the client CPU-bound")
+	}
+	// PerWorkerCap 4 against worker capacity 2: the two overcommitted
+	// requests queue in the worker's slot semaphore, so its simulator
+	// slots never idle for a network round-trip between simulations. The
+	// workers themselves still enforce 2 concurrent simulations.
+	pool1, _ := startSimdPool(t, 1, simpool.Options{PerWorkerCap: 4})
+	pool4, _ := startSimdPool(t, 4, simpool.Options{PerWorkerCap: 4})
+	cfgs := sweepConfigs(64)
+	warm := make([]space.Config, 8)
+	for i := range warm {
+		warm[i] = space.Config{16, 16, 2 + i} // disjoint from sweepConfigs
+	}
+	// Warm both pools' connections so the measurement is steady-state.
+	timeBatch(t, pool1, warm)
+	timeBatch(t, pool4, warm)
+
+	// Wall-clock ratios on a shared machine are noisy; any one of three
+	// attempts clearing 3x proves the capacity is there.
+	var d1, d4 time.Duration
+	for attempt := 0; attempt < 3; attempt++ {
+		d1 = timeBatch(t, pool1, cfgs)
+		d4 = timeBatch(t, pool4, cfgs)
+		if d1 >= 3*d4 {
+			t.Logf("speedup %.2fx (1 worker: %v, 4 workers: %v)", float64(d1)/float64(d4), d1, d4)
+			return
+		}
+		t.Logf("attempt %d: speedup %.2fx (1 worker: %v, 4 workers: %v)", attempt, float64(d1)/float64(d4), d1, d4)
+	}
+	t.Fatalf("4 workers only %.2fx faster than 1 (want >= 3x): %v vs %v", float64(d1)/float64(d4), d1, d4)
+}
+
+// TestSimdKillAndRespawn kills one of two real worker processes with
+// SIGKILL mid-batch and demands the batch complete with exact results
+// and exact accounting; a respawn on the same address must then be
+// probed back into rotation.
+func TestSimdKillAndRespawn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes; skipped in -short")
+	}
+	url0, cmd0 := startSimd(t, map[string]string{"SIMD_SIZE": "full"}) // 20ms per sim
+	url1, _ := startSimd(t, map[string]string{"SIMD_SIZE": "full"})
+	pool, err := simpool.NewPool(simpool.Options{
+		Workers:      []simpool.WorkerSpec{{URL: url0}, {URL: url1}},
+		Nv:           3,
+		PerWorkerCap: 2,
+		RetryBase:    2 * time.Millisecond,
+		ProbeBase:    10 * time.Millisecond,
+		ProbeMax:     200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	ev, err := evaluator.New(pool, evaluator.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ~200ms of batch at 4 slots x 20ms; the kill lands ~60ms in, while
+	// worker 0 is holding two in-flight simulations.
+	cfgs := sweepConfigs(40)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	type batchOut struct {
+		results []evaluator.Result
+		err     error
+	}
+	done := make(chan batchOut, 1)
+	go func() {
+		rs, err := ev.EvaluateAllContext(ctx, cfgs, 16)
+		done <- batchOut{rs, err}
+	}()
+	time.Sleep(60 * time.Millisecond)
+	if err := cmd0.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	out := <-done
+	if out.err != nil {
+		t.Fatalf("batch failed after worker kill: %v", out.err)
+	}
+	for i, res := range out.results {
+		if want := sleepLambda(t, 42, cfgs[i]); res.Lambda != want {
+			t.Fatalf("cfg %v: lambda = %v, want %v", cfgs[i], res.Lambda, want)
+		}
+	}
+	if st := ev.Stats(); st.NSim != len(cfgs) {
+		t.Fatalf("NSim = %d, want exactly %d (kill must not lose or double-count results)", st.NSim, len(cfgs))
+	}
+	if got := ev.Store().Len(); got != len(cfgs) {
+		t.Fatalf("store has %d entries, want exactly %d", got, len(cfgs))
+	}
+	_, _, _, nrequeued := pool.RemoteSimCounts()
+	if nrequeued == 0 {
+		t.Error("NRequeued = 0: the kill should have stranded in-flight configs for requeue")
+	}
+	dispatched0 := workerStat(t, pool, url0).Dispatched
+	if !workerStat(t, pool, url0).Quarantined {
+		t.Fatal("killed worker not quarantined")
+	}
+
+	// Respawn on the SAME address: the pool's health probe must readmit
+	// it without a restart or reconfiguration.
+	startSimd(t, map[string]string{"SIMD_SIZE": "full", "SIMD_ADDR": strings.TrimPrefix(url0, "http://")})
+	deadline := time.Now().Add(10 * time.Second)
+	for workerStat(t, pool, url0).Quarantined {
+		if time.Now().After(deadline) {
+			t.Fatal("respawned worker never readmitted")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	more := make([]space.Config, 16)
+	for i := range more {
+		more[i] = space.Config{15, 15, 2 + i%15}
+	}
+	rs, err := ev.EvaluateAllContext(ctx, more, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range rs {
+		if want := sleepLambda(t, 42, more[i]); res.Lambda != want {
+			t.Fatalf("post-respawn cfg %v: lambda = %v, want %v", more[i], res.Lambda, want)
+		}
+	}
+	if after := workerStat(t, pool, url0).Dispatched; after <= dispatched0 {
+		t.Fatalf("respawned worker got no dispatches (%d before, %d after)", dispatched0, after)
+	}
+}
+
+func workerStat(t testing.TB, pool *simpool.Pool, url string) simpool.WorkerStats {
+	t.Helper()
+	for _, w := range pool.Stats().Workers {
+		if w.URL == url {
+			return w
+		}
+	}
+	t.Fatalf("no worker %s in pool stats", url)
+	return simpool.WorkerStats{}
+}
+
+// BenchmarkRemoteSimPool measures the pooled scheduler end to end over
+// real worker processes: 64 simulations of 2ms each, through 1/2/4
+// capacity-2 workers. ns/op tracks the batch wall-clock (it is
+// process-spawn-free: workers start before the timer); allocs/op is the
+// client scheduler + HTTP cost of 64 remote simulations.
+func BenchmarkRemoteSimPool(b *testing.B) {
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", n), func(b *testing.B) {
+			pool, _ := startSimdPool(b, n, simpool.Options{})
+			cfgs := sweepConfigs(64)
+			var failed atomic.Value
+			run := func() {
+				var wg sync.WaitGroup
+				for g := 0; g < 16; g++ {
+					wg.Add(1)
+					go func(g int) {
+						defer wg.Done()
+						for j := g; j < len(cfgs); j += 16 {
+							if _, err := pool.Evaluate(cfgs[j]); err != nil {
+								failed.Store(err)
+							}
+						}
+					}(g)
+				}
+				wg.Wait()
+			}
+			run() // warm connections
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run()
+			}
+			b.StopTimer()
+			if err := failed.Load(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

@@ -40,8 +40,16 @@ go test ./internal/bench -run '^$' -benchmem -count 3 -benchtime 10x \
 go test ./internal/bench -run '^$' -benchmem -count 3 -benchtime 100x \
     -bench 'PredictBatch/' | tee -a "$OUT"
 
+# Remote simulator pool: real worker processes (spawned outside the
+# timer), 64 x 2ms sleep simulations per op through 1/2/4 workers.
+# Wall-clock is sim-latency-bound and spreads with host load, so the
+# rows are alloc-gated only (the scheduler+HTTP client cost per batch);
+# the >= 3x scaling claim is enforced by TestRemoteSimPoolSpeedup.
+go test ./internal/simpool -run '^$' -benchmem -count 3 -benchtime 3x \
+    -bench 'RemoteSimPool/' | tee -a "$OUT"
+
 go run ./cmd/benchdiff \
     -baseline "$BASELINE" \
     -gates scripts/bench_gates.json \
-    -require 'AddBulk|Recovery|EvaluateAllParallel|CoalescedServiceSweep|PredictBatch' \
+    -require 'AddBulk|Recovery|EvaluateAllParallel|CoalescedServiceSweep|PredictBatch|RemoteSimPool' \
     "$OUT"
