@@ -8,7 +8,10 @@
 // EVALD_BENCH, EVALD_SIZE, EVALD_SEED, EVALD_WORKERS, EVALD_MAX_SIMS,
 // EVALD_STATE_DIR, EVALD_D, EVALD_NNMIN, EVALD_MAX_SUPPORT,
 // EVALD_API_KEYS, EVALD_DRAIN_GRACE, EVALD_REQUEST_TIMEOUT,
-// EVALD_SIM_WORKERS, EVALD_SIM_HEDGE, EVALD_SIM_WORKER_CAP. With no
+// EVALD_SIM_WORKERS, EVALD_SIM_HEDGE, EVALD_SIM_WORKER_CAP,
+// EVALD_SIM_RETRY_BUDGET, EVALD_SIM_RETRY_BURST, EVALD_BREAKER,
+// EVALD_BREAKER_COOLDOWN, EVALD_BREAKER_THRESHOLD,
+// EVALD_DISABLE_SHED. With no
 // environment at all it serves the small FIR benchmark on :8080,
 // unauthenticated, simulating in-process; EVALD_SIM_WORKERS moves
 // simulation onto a pool of remote simd workers (see cmd/simd and
@@ -30,12 +33,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"log"
 	"log/slog"
 	"net"
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/breaker"
 	"repro/internal/cli"
 	"repro/internal/config"
 	"repro/internal/evaluator"
@@ -71,6 +77,8 @@ func main() {
 			Nv:           sp.Nv,
 			PerWorkerCap: cfg.SimWorkerCap,
 			HedgeDelay:   cfg.SimHedge,
+			RetryBudget:  cfg.SimRetryBudget,
+			RetryBurst:   cfg.SimRetryBurst,
 			Logger:       logger,
 		})
 		if err != nil {
@@ -81,12 +89,27 @@ func main() {
 	} else if sim, err = sp.NewSimulator(cfg.Seed); err != nil {
 		log.Fatal(err)
 	}
+	if cfg.Breaker {
+		// ErrSimulation is the benchmark refusing a configuration — a
+		// per-input verdict, not worker sickness — so it must not count
+		// toward tripping the breaker.
+		sim = breaker.Wrap(sim, breaker.Options{
+			Cooldown:  cfg.BreakerCooldown,
+			Threshold: cfg.BreakerThreshold,
+			IsFailure: func(err error) bool {
+				return !errors.Is(err, simpool.ErrSimulation) &&
+					!errors.Is(err, context.Canceled) &&
+					!errors.Is(err, context.DeadlineExceeded)
+			},
+		})
+	}
 
 	evOpts := evaluator.Options{
 		D:                 cfg.D,
 		NnMin:             cfg.NnMin,
 		MaxSupport:        cfg.MaxSupport,
 		DisableCoalescing: cfg.DisableCoalescing,
+		DisableShedding:   cfg.DisableShedding,
 		StateDir:          cfg.StateDir,
 	}
 	if cfg.D > 0 {
@@ -103,7 +126,7 @@ func main() {
 
 	tenants := make([]httpapi.Tenant, len(cfg.Tenants))
 	for i, t := range cfg.Tenants {
-		tenants[i] = httpapi.Tenant{Name: t.Name, Key: t.Key, Quota: t.Quota}
+		tenants[i] = httpapi.Tenant{Name: t.Name, Key: t.Key, Quota: t.Quota, AllowDegraded: t.AllowDegraded}
 	}
 	srv := httpapi.New(httpapi.Options{
 		Evaluator:      ev,

@@ -1,0 +1,311 @@
+// Package breaker wraps a simulator in a circuit breaker so that a
+// failing simulation backend — a dead simd fleet, a crashing in-process
+// simulator — fast-fails requests with a typed error instead of letting
+// every request rediscover the outage at full retry-ladder cost.
+//
+// The breaker is a three-state machine over a rolling outcome window:
+//
+//	closed    — requests pass through; each outcome (error or not,
+//	            slow or not) enters the window. When enough recent
+//	            outcomes are failures, the breaker trips.
+//	open      — requests are rejected immediately with ErrSimUnavailable
+//	            (wrapped in *OpenError, which carries the remaining
+//	            cooldown as a Retry-After hint). No load reaches the
+//	            backend.
+//	half-open — after the cooldown one probe request is let through.
+//	            Success closes the breaker and clears the window;
+//	            failure reopens it for another cooldown.
+//
+// The wrapper satisfies the evaluator's ContextSimulator shape
+// (Evaluate, EvaluateContext, Nv) and passes a wrapped pool's
+// RemoteSimCounts through, so it composes transparently between the
+// evaluator and either an in-process simulator or a simpool.Pool.
+package breaker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/space"
+)
+
+// ErrSimUnavailable is the sentinel surfaced while the breaker is open
+// (or a half-open probe slot is taken): the simulation backend is
+// considered down and no attempt was made. Match with errors.Is.
+var ErrSimUnavailable = errors.New("breaker: simulator unavailable (circuit open)")
+
+// OpenError is the typed open-state rejection; it satisfies
+// errors.Is(err, ErrSimUnavailable).
+type OpenError struct {
+	// RetryAfter is the time until the breaker will next let a probe
+	// through — the natural client backoff.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *OpenError) Error() string {
+	return fmt.Sprintf("breaker: simulator unavailable (circuit open, next probe in %v)", e.RetryAfter)
+}
+
+// Is matches the ErrSimUnavailable sentinel.
+func (e *OpenError) Is(target error) bool { return target == ErrSimUnavailable }
+
+// RetryAfterHint returns the suggested client backoff; the HTTP layer
+// maps it onto the Retry-After header of the 503 response.
+func (e *OpenError) RetryAfterHint() time.Duration { return e.RetryAfter }
+
+// SimUnavailable marks the error as a capacity refusal for the
+// evaluator's brownout eligibility check (sniffed structurally, so the
+// evaluator needs no import of this package), returning the same
+// suggested wait as RetryAfterHint.
+func (e *OpenError) SimUnavailable() time.Duration { return e.RetryAfter }
+
+// Sim is the simulator surface the breaker wraps: the evaluator's
+// Simulator shape, optionally context-aware (a wrapped ContextSimulator
+// is cancelled mid-run; a plain one between runs).
+type Sim interface {
+	Evaluate(cfg space.Config) (float64, error)
+	Nv() int
+}
+
+// contextSim is the optional context-aware face of a wrapped Sim.
+type contextSim interface {
+	EvaluateContext(ctx context.Context, cfg space.Config) (float64, error)
+}
+
+// Options tunes a Breaker. The zero value is serviceable: trip when
+// ≥ 50% of the last 16 outcomes failed (minimum 4 samples within 10s),
+// cool off for 5s between probes.
+type Options struct {
+	// Window is the rolling outcome window size; zero selects 16.
+	Window int
+	// MinSamples is the minimum number of recent outcomes before the
+	// failure ratio can trip the breaker — one early failure on a cold
+	// service must not black out the backend. Zero selects 4.
+	MinSamples int
+	// Threshold is the failure ratio (0,1] that trips the breaker over
+	// a full-enough window; zero selects 0.5.
+	Threshold float64
+	// Interval bounds how old an outcome may be and still count toward
+	// the trip decision; zero selects 10s.
+	Interval time.Duration
+	// Cooldown is how long an open breaker rejects before letting a
+	// half-open probe through; zero selects 5s.
+	Cooldown time.Duration
+	// SlowThreshold, when positive, counts a successful call slower
+	// than this as a failure — a backend answering at 100× its normal
+	// latency is as gone as a dead one. Zero disables latency tripping.
+	SlowThreshold time.Duration
+	// IsFailure classifies errors: only errors for which it returns
+	// true count toward tripping. Nil selects the default — every
+	// non-context error counts. Deterministic per-config simulation
+	// failures (e.g. simpool.ErrSimulation) should be excluded by the
+	// caller when the backend distinguishes them: they mean the backend
+	// is healthy and the configuration is bad.
+	IsFailure func(error) bool
+}
+
+// state is the breaker's position in the closed/open/half-open machine.
+type state int
+
+const (
+	stateClosed state = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// outcome is one recorded call in the rolling window.
+type outcome struct {
+	at      time.Time
+	failure bool
+}
+
+// Breaker wraps a Sim with circuit-breaking. Safe for concurrent use.
+type Breaker struct {
+	sim  Sim
+	opts Options
+
+	mu      sync.Mutex
+	state   state
+	ring    []outcome
+	ringN   int // total recorded; ring index = ringN % len(ring)
+	openAt  time.Time
+	probing bool // a half-open probe is in flight
+
+	nOpens    uint64 // closed/half-open → open transitions
+	nRejected uint64 // calls fast-failed while open
+}
+
+// Wrap builds a Breaker around sim.
+func Wrap(sim Sim, opts Options) *Breaker {
+	if opts.Window <= 0 {
+		opts.Window = 16
+	}
+	if opts.MinSamples <= 0 {
+		opts.MinSamples = 4
+	}
+	if opts.Threshold <= 0 || opts.Threshold > 1 {
+		opts.Threshold = 0.5
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 10 * time.Second
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = 5 * time.Second
+	}
+	if opts.IsFailure == nil {
+		opts.IsFailure = func(err error) bool {
+			return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+		}
+	}
+	return &Breaker{sim: sim, opts: opts, ring: make([]outcome, opts.Window)}
+}
+
+// Nv returns the wrapped simulator's dimensionality.
+func (b *Breaker) Nv() int { return b.sim.Nv() }
+
+// Evaluate runs one simulation through the breaker with no deadline.
+func (b *Breaker) Evaluate(cfg space.Config) (float64, error) {
+	return b.EvaluateContext(context.Background(), cfg)
+}
+
+// EvaluateContext runs one simulation through the breaker: admitted
+// calls hit the backend and record their outcome; while open, calls are
+// rejected in microseconds with an *OpenError.
+func (b *Breaker) EvaluateContext(ctx context.Context, cfg space.Config) (float64, error) {
+	probe, err := b.admit(time.Now())
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	var lam float64
+	if cs, ok := b.sim.(contextSim); ok {
+		lam, err = cs.EvaluateContext(ctx, cfg)
+	} else if err = ctx.Err(); err == nil {
+		lam, err = b.sim.Evaluate(cfg)
+	}
+	b.record(probe, err, time.Since(start))
+	return lam, err
+}
+
+// admit decides whether a call may reach the backend, returning
+// probe=true when the call is the half-open probe.
+func (b *Breaker) admit(now time.Time) (probe bool, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return false, nil
+	case stateOpen:
+		if wait := b.openAt.Add(b.opts.Cooldown).Sub(now); wait > 0 {
+			b.nRejected++
+			return false, &OpenError{RetryAfter: wait}
+		}
+		b.state = stateHalfOpen
+		b.probing = true
+		return true, nil
+	default: // half-open
+		if b.probing {
+			// The probe slot is taken; everyone else keeps fast-failing
+			// until the probe's verdict is in.
+			b.nRejected++
+			return false, &OpenError{RetryAfter: b.opts.Cooldown}
+		}
+		b.probing = true
+		return true, nil
+	}
+}
+
+// record books one completed backend call.
+func (b *Breaker) record(probe bool, err error, elapsed time.Duration) {
+	failure := err != nil && b.opts.IsFailure(err)
+	if err == nil && b.opts.SlowThreshold > 0 && elapsed > b.opts.SlowThreshold {
+		failure = true
+	}
+	now := time.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+		if b.state == stateHalfOpen {
+			if failure {
+				b.reopenLocked(now)
+			} else {
+				// Recovery: close and forget the outage's window so the
+				// next trip needs fresh evidence.
+				b.state = stateClosed
+				b.ringN = 0
+			}
+			return
+		}
+		// The breaker closed or reopened under the probe (a concurrent
+		// recording); fall through and book the outcome normally.
+	}
+	if b.state != stateClosed {
+		return
+	}
+	b.ring[b.ringN%len(b.ring)] = outcome{at: now, failure: failure}
+	b.ringN++
+	if failure && b.tripLocked(now) {
+		b.reopenLocked(now)
+	}
+}
+
+// tripLocked evaluates the trip condition over the rolling window.
+func (b *Breaker) tripLocked(now time.Time) bool {
+	n := min(b.ringN, len(b.ring))
+	samples, failures := 0, 0
+	horizon := now.Add(-b.opts.Interval)
+	for i := 0; i < n; i++ {
+		o := b.ring[i]
+		if o.at.Before(horizon) {
+			continue
+		}
+		samples++
+		if o.failure {
+			failures++
+		}
+	}
+	return samples >= b.opts.MinSamples &&
+		float64(failures) >= b.opts.Threshold*float64(samples)
+}
+
+// reopenLocked moves to the open state and restarts the cooldown.
+func (b *Breaker) reopenLocked(now time.Time) {
+	b.state = stateOpen
+	b.openAt = now
+	b.probing = false
+	b.nOpens++
+}
+
+// BreakerCounts exposes the trip counters through the structural
+// interface the evaluator sniffs (opens = closed/half-open → open
+// transitions; rejected = calls fast-failed while open).
+func (b *Breaker) BreakerCounts() (opens, rejected uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.nOpens, b.nRejected
+}
+
+// BreakerOpen reports whether the breaker is currently refusing
+// non-probe traffic (open, or half-open with the probe slot taken).
+func (b *Breaker) BreakerOpen() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != stateClosed
+}
+
+// RemoteSimCounts passes a wrapped pool's scheduler counters through
+// the structural interface the evaluator sniffs; zeros when the wrapped
+// simulator is not a pool.
+func (b *Breaker) RemoteSimCounts() (nremote, nhedged, nretried, nrequeued uint64) {
+	if rc, ok := b.sim.(interface {
+		RemoteSimCounts() (uint64, uint64, uint64, uint64)
+	}); ok {
+		return rc.RemoteSimCounts()
+	}
+	return 0, 0, 0, 0
+}

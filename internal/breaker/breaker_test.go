@@ -1,0 +1,205 @@
+package breaker
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/space"
+)
+
+// flakySim fails while down is set, counting backend calls either way.
+type flakySim struct {
+	nv    int
+	down  atomic.Bool
+	slow  atomic.Int64 // extra latency in nanoseconds
+	calls atomic.Int64
+}
+
+var errBackend = errors.New("backend down")
+
+func (s *flakySim) Nv() int { return s.nv }
+
+func (s *flakySim) Evaluate(cfg space.Config) (float64, error) {
+	s.calls.Add(1)
+	if d := time.Duration(s.slow.Load()); d > 0 {
+		time.Sleep(d)
+	}
+	if s.down.Load() {
+		return 0, errBackend
+	}
+	return -float64(cfg[0]), nil
+}
+
+func trip(t *testing.T, b *Breaker, attempts int) {
+	t.Helper()
+	for i := 0; i < attempts; i++ {
+		if _, err := b.Evaluate(space.Config{i}); errors.Is(err, ErrSimUnavailable) {
+			return
+		}
+	}
+	t.Fatal("breaker never tripped")
+}
+
+// TestBreakerTripsAndFastFails drives failures through a closed breaker
+// until it opens, then checks the open-state contract: typed rejection,
+// positive Retry-After, no backend traffic, counters moving.
+func TestBreakerTripsAndFastFails(t *testing.T) {
+	sim := &flakySim{nv: 1}
+	b := Wrap(sim, Options{Window: 8, MinSamples: 4, Threshold: 0.5, Cooldown: time.Hour})
+	for i := 0; i < 3; i++ {
+		if _, err := b.Evaluate(space.Config{i}); err != nil {
+			t.Fatalf("healthy call %d: %v", i, err)
+		}
+	}
+	sim.down.Store(true)
+	trip(t, b, 20)
+
+	if !b.BreakerOpen() {
+		t.Fatal("BreakerOpen() = false after trip")
+	}
+	calls := sim.calls.Load()
+	_, err := b.Evaluate(space.Config{9})
+	if !errors.Is(err, ErrSimUnavailable) {
+		t.Fatalf("open-state err = %v, want ErrSimUnavailable", err)
+	}
+	var oe *OpenError
+	if !errors.As(err, &oe) {
+		t.Fatalf("open-state err %T does not unwrap to *OpenError", err)
+	}
+	if oe.RetryAfter <= 0 || oe.RetryAfter > time.Hour {
+		t.Errorf("RetryAfter = %v, want in (0, cooldown]", oe.RetryAfter)
+	}
+	if oe.RetryAfterHint() != oe.RetryAfter || oe.SimUnavailable() != oe.RetryAfter {
+		t.Error("hint accessors disagree with RetryAfter")
+	}
+	if sim.calls.Load() != calls {
+		t.Error("open breaker let a call through to the backend")
+	}
+	opens, rejected := b.BreakerCounts()
+	if opens != 1 {
+		t.Errorf("opens = %d, want 1", opens)
+	}
+	if rejected < 1 {
+		t.Errorf("rejected = %d, want >= 1", rejected)
+	}
+}
+
+// TestBreakerRecoversThroughProbe opens a breaker with a short cooldown,
+// heals the backend, and checks the half-open ladder: first call after
+// the cooldown probes the backend, success closes the breaker, and the
+// cleared window means one fresh failure does not re-trip it.
+func TestBreakerRecoversThroughProbe(t *testing.T) {
+	sim := &flakySim{nv: 1}
+	b := Wrap(sim, Options{Window: 8, MinSamples: 4, Threshold: 0.5, Cooldown: 20 * time.Millisecond})
+	sim.down.Store(true)
+	trip(t, b, 20)
+	sim.down.Store(false)
+	time.Sleep(25 * time.Millisecond)
+
+	if lam, err := b.Evaluate(space.Config{3}); err != nil {
+		t.Fatalf("probe call: %v", err)
+	} else if lam != -3 {
+		t.Fatalf("probe λ = %v, want -3", lam)
+	}
+	if b.BreakerOpen() {
+		t.Fatal("breaker still open after successful probe")
+	}
+	// The outage's window is forgotten: a single new failure is judged
+	// on fresh evidence and must not trip a MinSamples=4 breaker.
+	sim.down.Store(true)
+	if _, err := b.Evaluate(space.Config{4}); !errors.Is(err, errBackend) {
+		t.Fatalf("post-recovery failure err = %v, want the backend error", err)
+	}
+	if b.BreakerOpen() {
+		t.Fatal("breaker re-tripped on one post-recovery failure")
+	}
+}
+
+// TestBreakerProbeFailureReopens checks the other probe verdict: a
+// failing probe sends the breaker straight back to open for another
+// cooldown.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	sim := &flakySim{nv: 1}
+	b := Wrap(sim, Options{Window: 8, MinSamples: 4, Threshold: 0.5, Cooldown: 20 * time.Millisecond})
+	sim.down.Store(true)
+	trip(t, b, 20)
+	time.Sleep(25 * time.Millisecond)
+
+	if _, err := b.Evaluate(space.Config{5}); !errors.Is(err, errBackend) {
+		t.Fatalf("probe err = %v, want the backend error", err)
+	}
+	if !b.BreakerOpen() {
+		t.Fatal("breaker closed after a failed probe")
+	}
+	if _, err := b.Evaluate(space.Config{6}); !errors.Is(err, ErrSimUnavailable) {
+		t.Fatalf("post-probe err = %v, want ErrSimUnavailable (cooldown restarted)", err)
+	}
+	opens, _ := b.BreakerCounts()
+	if opens != 2 {
+		t.Errorf("opens = %d, want 2 (initial trip + failed probe)", opens)
+	}
+}
+
+// TestBreakerIsFailureClassification checks that excluded errors never
+// trip the breaker: with IsFailure rejecting the backend error, a storm
+// of them leaves the breaker closed.
+func TestBreakerIsFailureClassification(t *testing.T) {
+	sim := &flakySim{nv: 1}
+	b := Wrap(sim, Options{Window: 8, MinSamples: 2, Threshold: 0.5, Cooldown: time.Hour,
+		IsFailure: func(err error) bool { return !errors.Is(err, errBackend) }})
+	sim.down.Store(true)
+	for i := 0; i < 20; i++ {
+		if _, err := b.Evaluate(space.Config{i}); !errors.Is(err, errBackend) {
+			t.Fatalf("call %d: err = %v, want the backend error passed through", i, err)
+		}
+	}
+	if b.BreakerOpen() {
+		t.Fatal("breaker tripped on excluded errors")
+	}
+	// Context cancellations are excluded by the default classifier too.
+	b2 := Wrap(&flakySim{nv: 1}, Options{Window: 8, MinSamples: 2, Threshold: 0.5})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 10; i++ {
+		b2.EvaluateContext(ctx, space.Config{i})
+	}
+	if b2.BreakerOpen() {
+		t.Fatal("breaker tripped on context cancellations")
+	}
+}
+
+// TestBreakerSlowThreshold checks latency tripping: successful calls
+// slower than SlowThreshold count as failures.
+func TestBreakerSlowThreshold(t *testing.T) {
+	sim := &flakySim{nv: 1}
+	sim.slow.Store(int64(5 * time.Millisecond))
+	b := Wrap(sim, Options{Window: 8, MinSamples: 4, Threshold: 0.5, Cooldown: time.Hour,
+		SlowThreshold: time.Millisecond})
+	tripped := false
+	for i := 0; i < 20 && !tripped; i++ {
+		_, err := b.Evaluate(space.Config{i})
+		tripped = errors.Is(err, ErrSimUnavailable)
+	}
+	if !tripped {
+		t.Fatal("breaker never tripped on slow successes")
+	}
+}
+
+// TestBreakerPassthrough checks the transparent faces: Nv delegates, a
+// healthy wrapped simulator answers normally, and RemoteSimCounts
+// returns zeros for a non-pool backend.
+func TestBreakerPassthrough(t *testing.T) {
+	b := Wrap(&flakySim{nv: 3}, Options{})
+	if b.Nv() != 3 {
+		t.Errorf("Nv = %d, want 3", b.Nv())
+	}
+	if lam, err := b.Evaluate(space.Config{2, 0, 0}); err != nil || lam != -2 {
+		t.Errorf("Evaluate = %v, %v; want -2, nil", lam, err)
+	}
+	if r, h, rt, rq := b.RemoteSimCounts(); r|h|rt|rq != 0 {
+		t.Errorf("RemoteSimCounts = %d %d %d %d, want zeros", r, h, rt, rq)
+	}
+}

@@ -27,6 +27,11 @@ type Tenant struct {
 	// rather than queued, so one tenant cannot occupy the whole
 	// admission pipeline.
 	Quota int
+	// AllowDegraded opts the tenant into brownout serving: under
+	// overload (shed) or simulator outage (breaker open) its requests
+	// get a surrogate-only kriging answer flagged degraded:true instead
+	// of a 503. Set by the 4th policy field of EVALD_API_KEYS.
+	AllowDegraded bool
 }
 
 // Config is the evald service configuration.
@@ -67,10 +72,12 @@ type Config struct {
 	// operating mode.
 	DisableCoalescing bool
 	// Tenants is the API-key table (EVALD_API_KEYS), parsed from
-	// comma-separated name:key:quota triples, e.g.
-	// "alice:s3cret:8,bob:hunter2:0". The quota part may be omitted
-	// (unlimited). An empty table disables authentication: every
-	// request runs as the anonymous tenant — development mode only.
+	// comma-separated name:key[:quota[:policy]] specs, e.g.
+	// "alice:s3cret:8,bob:hunter2:0:degraded". The quota part may be
+	// omitted or empty (unlimited); the policy field "degraded" opts the
+	// tenant into brownout serving. An empty table disables
+	// authentication: every request runs as the anonymous tenant —
+	// development mode only.
 	Tenants []Tenant
 	// DrainGrace bounds how long a SIGTERM drain waits for in-flight
 	// requests before the server is torn down anyway
@@ -95,6 +102,29 @@ type Config struct {
 	// (EVALD_SIM_WORKER_CAP, default 0 = the pool's built-in 4); match
 	// it to the workers' SIMD_CAPACITY.
 	SimWorkerCap int
+	// SimRetryBudget caps the pool-wide rate of retries and hedges in
+	// tokens per second (EVALD_SIM_RETRY_BUDGET, default 0 = unlimited)
+	// so correlated worker failures cannot amplify into a retry storm.
+	SimRetryBudget float64
+	// SimRetryBurst is the retry budget's bucket depth
+	// (EVALD_SIM_RETRY_BURST, default 0 = 1); only read when
+	// SimRetryBudget is set.
+	SimRetryBurst int
+	// Breaker enables the circuit breaker around the simulator
+	// (EVALD_BREAKER=1, default off): a rolling error window trips it
+	// open so a dead simulation tier fails fast instead of burning
+	// deadlines, with half-open probes readmitting traffic on recovery.
+	Breaker bool
+	// BreakerCooldown is how long an open breaker waits before probing
+	// (EVALD_BREAKER_COOLDOWN, default 5s).
+	BreakerCooldown time.Duration
+	// BreakerThreshold is the failure fraction of the rolling window
+	// that trips the breaker (EVALD_BREAKER_THRESHOLD, default 0.5).
+	BreakerThreshold float64
+	// DisableShedding turns off deadline-aware load shedding
+	// (EVALD_DISABLE_SHED=1) — an ablation/debug switch: doomed
+	// requests then park on the admission queue and expire there.
+	DisableShedding bool
 }
 
 // FromEnv loads the configuration from the process environment.
@@ -171,6 +201,26 @@ func FromGetenv(getenv func(string) string) (Config, error) {
 	if cfg.SimWorkerCap, err = intVar(getenv, "EVALD_SIM_WORKER_CAP", cfg.SimWorkerCap); err != nil {
 		return cfg, err
 	}
+	if cfg.SimRetryBudget, err = floatVar(getenv, "EVALD_SIM_RETRY_BUDGET", cfg.SimRetryBudget); err != nil {
+		return cfg, err
+	}
+	if cfg.SimRetryBurst, err = intVar(getenv, "EVALD_SIM_RETRY_BURST", cfg.SimRetryBurst); err != nil {
+		return cfg, err
+	}
+	if cfg.Breaker, err = boolVar(getenv, "EVALD_BREAKER"); err != nil {
+		return cfg, err
+	}
+	cfg.BreakerCooldown = 5 * time.Second
+	if cfg.BreakerCooldown, err = durVar(getenv, "EVALD_BREAKER_COOLDOWN", cfg.BreakerCooldown); err != nil {
+		return cfg, err
+	}
+	cfg.BreakerThreshold = 0.5
+	if cfg.BreakerThreshold, err = floatVar(getenv, "EVALD_BREAKER_THRESHOLD", cfg.BreakerThreshold); err != nil {
+		return cfg, err
+	}
+	if cfg.DisableShedding, err = boolVar(getenv, "EVALD_DISABLE_SHED"); err != nil {
+		return cfg, err
+	}
 	if cfg.Workers < 0 {
 		return cfg, fmt.Errorf("config: EVALD_WORKERS %d is negative", cfg.Workers)
 	}
@@ -180,12 +230,23 @@ func FromGetenv(getenv func(string) string) (Config, error) {
 	if cfg.SimWorkerCap < 0 {
 		return cfg, fmt.Errorf("config: EVALD_SIM_WORKER_CAP %d is negative", cfg.SimWorkerCap)
 	}
+	if cfg.SimRetryBudget < 0 {
+		return cfg, fmt.Errorf("config: EVALD_SIM_RETRY_BUDGET %g is negative", cfg.SimRetryBudget)
+	}
+	if cfg.SimRetryBurst < 0 {
+		return cfg, fmt.Errorf("config: EVALD_SIM_RETRY_BURST %d is negative", cfg.SimRetryBurst)
+	}
+	if cfg.BreakerThreshold <= 0 || cfg.BreakerThreshold > 1 {
+		return cfg, fmt.Errorf("config: EVALD_BREAKER_THRESHOLD %g (want in (0, 1])", cfg.BreakerThreshold)
+	}
 	return cfg, nil
 }
 
 // ParseTenants parses the EVALD_API_KEYS syntax: comma-separated
-// name:key or name:key:quota triples. Duplicate names or keys are
-// rejected — a shared key would make per-tenant quotas and request
+// name:key[:quota[:policy]] specs. The quota field may be empty
+// (unlimited) when a policy follows, and the only policy today is
+// "degraded" — the tenant-wide brownout opt-in. Duplicate names or keys
+// are rejected — a shared key would make per-tenant quotas and request
 // attribution meaningless.
 func ParseTenants(s string) ([]Tenant, error) {
 	s = strings.TrimSpace(s)
@@ -201,19 +262,33 @@ func ParseTenants(s string) ([]Tenant, error) {
 			continue
 		}
 		fields := strings.Split(part, ":")
-		if len(fields) < 2 || len(fields) > 3 {
-			return nil, fmt.Errorf("config: tenant %q (want name:key or name:key:quota)", part)
+		if len(fields) < 2 || len(fields) > 4 {
+			return nil, fmt.Errorf("config: tenant %q (want name:key[:quota[:policy]])", part)
 		}
 		t := Tenant{Name: strings.TrimSpace(fields[0]), Key: strings.TrimSpace(fields[1])}
 		if t.Name == "" || t.Key == "" {
 			return nil, fmt.Errorf("config: tenant %q has an empty name or key", part)
 		}
-		if len(fields) == 3 {
-			q, err := strconv.Atoi(strings.TrimSpace(fields[2]))
-			if err != nil || q < 0 {
-				return nil, fmt.Errorf("config: tenant %q quota %q (want a non-negative integer)", t.Name, fields[2])
+		if len(fields) >= 3 {
+			if q := strings.TrimSpace(fields[2]); q != "" {
+				n, err := strconv.Atoi(q)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("config: tenant %q quota %q (want a non-negative integer)", t.Name, fields[2])
+				}
+				t.Quota = n
 			}
-			t.Quota = q
+		}
+		if len(fields) == 4 {
+			switch policy := strings.TrimSpace(fields[3]); policy {
+			case "degraded":
+				t.AllowDegraded = true
+			case "":
+				// name:key:quota: — a trailing colon reads as a typo, not
+				// an intentional empty policy.
+				return nil, fmt.Errorf("config: tenant %q has an empty policy field", t.Name)
+			default:
+				return nil, fmt.Errorf("config: tenant %q policy %q (want \"degraded\")", t.Name, policy)
+			}
 		}
 		if names[t.Name] {
 			return nil, fmt.Errorf("config: duplicate tenant name %q", t.Name)
@@ -261,6 +336,18 @@ func boolVar(getenv func(string) string, name string) (bool, error) {
 		return false, fmt.Errorf("config: %s %q: %w", name, v, err)
 	}
 	return b, nil
+}
+
+func floatVar(getenv func(string) string, name string, def float64) (float64, error) {
+	v := getenv(name)
+	if v == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return def, fmt.Errorf("config: %s %q: %w", name, v, err)
+	}
+	return f, nil
 }
 
 func durVar(getenv func(string) string, name string, def time.Duration) (time.Duration, error) {

@@ -114,3 +114,102 @@ func TestParseTenantsEmpty(t *testing.T) {
 		}
 	}
 }
+
+// TestOverloadConfig pins the resilience knobs: the new env vars parse
+// into their fields and the defaults stay safe (breaker off, shedding
+// on, budget unlimited).
+func TestOverloadConfig(t *testing.T) {
+	cfg, err := FromGetenv(env(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Breaker || cfg.DisableShedding || cfg.SimRetryBudget != 0 || cfg.SimRetryBurst != 0 {
+		t.Errorf("unexpected resilience defaults: %+v", cfg)
+	}
+	if cfg.BreakerCooldown != 5*time.Second || cfg.BreakerThreshold != 0.5 {
+		t.Errorf("unexpected breaker defaults: %+v", cfg)
+	}
+
+	cfg, err = FromGetenv(env(map[string]string{
+		"EVALD_SIM_RETRY_BUDGET":  "2.5",
+		"EVALD_SIM_RETRY_BURST":   "4",
+		"EVALD_BREAKER":           "1",
+		"EVALD_BREAKER_COOLDOWN":  "10s",
+		"EVALD_BREAKER_THRESHOLD": "0.25",
+		"EVALD_DISABLE_SHED":      "1",
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.SimRetryBudget != 2.5 || cfg.SimRetryBurst != 4 {
+		t.Errorf("retry budget: %+v", cfg)
+	}
+	if !cfg.Breaker || cfg.BreakerCooldown != 10*time.Second || cfg.BreakerThreshold != 0.25 {
+		t.Errorf("breaker knobs: %+v", cfg)
+	}
+	if !cfg.DisableShedding {
+		t.Errorf("DisableShedding not set: %+v", cfg)
+	}
+}
+
+// TestOverloadConfigRejects covers validation of the resilience knobs.
+func TestOverloadConfigRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		env  map[string]string
+		want string
+	}{
+		{"negative budget", map[string]string{"EVALD_SIM_RETRY_BUDGET": "-1"}, "EVALD_SIM_RETRY_BUDGET"},
+		{"bad budget", map[string]string{"EVALD_SIM_RETRY_BUDGET": "lots"}, "EVALD_SIM_RETRY_BUDGET"},
+		{"negative burst", map[string]string{"EVALD_SIM_RETRY_BURST": "-2"}, "EVALD_SIM_RETRY_BURST"},
+		{"bad breaker bool", map[string]string{"EVALD_BREAKER": "sure"}, "EVALD_BREAKER"},
+		{"bad cooldown", map[string]string{"EVALD_BREAKER_COOLDOWN": "5 parsecs"}, "EVALD_BREAKER_COOLDOWN"},
+		{"threshold zero", map[string]string{"EVALD_BREAKER_THRESHOLD": "0"}, "EVALD_BREAKER_THRESHOLD"},
+		{"threshold high", map[string]string{"EVALD_BREAKER_THRESHOLD": "1.5"}, "EVALD_BREAKER_THRESHOLD"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := FromGetenv(env(tc.env))
+			if err == nil {
+				t.Fatalf("no error for %v", tc.env)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseTenantsPolicy covers the 4-field tenant grammar: the policy
+// field, the empty-quota form, and the rejects around them.
+func TestParseTenantsPolicy(t *testing.T) {
+	ts, err := ParseTenants("alice:s3cret:8:degraded, bob:hunter2::degraded, carol:k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Tenant{
+		{Name: "alice", Key: "s3cret", Quota: 8, AllowDegraded: true},
+		{Name: "bob", Key: "hunter2", AllowDegraded: true},
+		{Name: "carol", Key: "k"},
+	}
+	if len(ts) != len(want) {
+		t.Fatalf("tenants = %+v, want %+v", ts, want)
+	}
+	for i, w := range want {
+		if ts[i] != w {
+			t.Errorf("tenant %d = %+v, want %+v", i, ts[i], w)
+		}
+	}
+
+	for _, bad := range []struct{ spec, want string }{
+		{"alice:k:8:vip", "policy"},
+		{"alice:k:8:", "policy"},
+		{"alice:k:8:degraded:extra", "name:key"},
+	} {
+		if _, err := ParseTenants(bad.spec); err == nil {
+			t.Errorf("ParseTenants(%q) accepted", bad.spec)
+		} else if !strings.Contains(err.Error(), bad.want) {
+			t.Errorf("ParseTenants(%q) error %q does not mention %q", bad.spec, err, bad.want)
+		}
+	}
+}

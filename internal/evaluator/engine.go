@@ -3,6 +3,8 @@ package evaluator
 import (
 	"context"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/space"
 	"repro/internal/store"
@@ -152,16 +154,16 @@ func (t *inflight) resolve(hash uint64, f *flight, lam float64, err error) {
 // for the remaining waiters.
 // The second return value reports whether this caller was a coalesced
 // follower — served by another request's simulation instead of its own.
-func (e *Evaluator) simulateShared(ctx context.Context, cfg space.Config, stats *counters, sem chan struct{}, insertNow bool) (float64, bool, error) {
+func (e *Evaluator) simulateShared(ctx context.Context, cfg space.Config, stats *counters, eng *Engine, insertNow bool) (float64, bool, error) {
 	if !e.flights.enabled {
-		lam, err := e.simulateOwned(ctx, cfg, stats, sem, insertNow, 0, nil)
+		lam, err := e.simulateOwned(ctx, cfg, stats, eng, insertNow, 0, nil)
 		return lam, false, err
 	}
 	hash := store.HashConfig(cfg)
 	for {
 		f, owner := e.flights.acquire(hash, cfg)
 		if owner {
-			lam, err := e.simulateOwned(ctx, cfg, stats, sem, insertNow, hash, f)
+			lam, err := e.simulateOwned(ctx, cfg, stats, eng, insertNow, hash, f)
 			return lam, false, err
 		}
 		select {
@@ -196,20 +198,18 @@ func (e *Evaluator) simulateShared(ctx context.Context, cfg space.Config, stats 
 }
 
 // simulateOwned runs the simulation as the flight owner (f may be nil
-// when coalescing is disabled): admission through sem, one stats charge,
-// the optional store insert, then flight resolution.
-func (e *Evaluator) simulateOwned(ctx context.Context, cfg space.Config, stats *counters, sem chan struct{}, insertNow bool, hash uint64, f *flight) (float64, error) {
-	if sem != nil {
-		select {
-		case sem <- struct{}{}:
-			defer func() { <-sem }()
-		case <-ctx.Done():
-			err := ctx.Err()
+// when coalescing is disabled): admission through the engine (bounded
+// semaphore with deadline-aware shedding), one stats charge, the
+// optional store insert, then flight resolution.
+func (e *Evaluator) simulateOwned(ctx context.Context, cfg space.Config, stats *counters, eng *Engine, insertNow bool, hash uint64, f *flight) (float64, error) {
+	if eng != nil && eng.sem != nil {
+		if err := eng.admit(ctx, stats); err != nil {
 			if f != nil {
 				e.flights.resolve(hash, f, 0, err)
 			}
 			return 0, err
 		}
+		defer eng.release()
 	}
 	// Between the caller's store miss and this flight's registration (or
 	// while this request queued for a simulation slot) the configuration
@@ -260,6 +260,13 @@ func (e *Evaluator) simulateOwned(ctx context.Context, cfg space.Config, stats *
 type Engine struct {
 	ev  *Evaluator
 	sem chan struct{}
+	// shed enables deadline-aware load shedding on the admission path
+	// (on by default for bounded engines; Options.DisableShedding turns
+	// it off for ablation).
+	shed bool
+	// waiting gauges the requests currently parked on the admission
+	// semaphore — the live queue depth the shedder prices waits with.
+	waiting atomic.Int64
 }
 
 // Engine builds a session engine over the evaluator. maxSims bounds the
@@ -270,8 +277,121 @@ func (e *Evaluator) Engine(maxSims int) *Engine {
 	if maxSims > 0 {
 		sem = make(chan struct{}, maxSims)
 	}
-	return &Engine{ev: e, sem: sem}
+	return &Engine{ev: e, sem: sem, shed: sem != nil && !e.opts.DisableShedding}
 }
+
+// admit claims one admission slot for a flight owner, blocking until a
+// slot frees or ctx dies. Three resilience rules shape it beyond a bare
+// semaphore send:
+//
+//  1. A context that is already dead never claims a slot, even if one
+//     is free — the race where an expired waiter still won admission
+//     (and its slot sat idle until the dead-context check inside the
+//     simulator path released it) is closed by re-checking ctx after
+//     every successful send.
+//  2. When no slot is free and the request carries a deadline, the
+//     deadline-aware shedder rejects it up front with a typed
+//     *OverloadError if the remaining time cannot cover the estimated
+//     queue wait plus its own simulation. Doomed requests fail in
+//     microseconds (and tell the client when to retry) instead of
+//     holding a queue position they can never use.
+//  3. A request that does park re-sheds itself once its remaining
+//     deadline can no longer cover even a bare simulation: the wait
+//     estimate is only an estimate, and when it proves too optimistic
+//     the waiter leaves the queue while the refusal is still cheap —
+//     a late admission would burn a slot on an answer nobody can use.
+//     With shedding on, a parked request therefore never expires in
+//     the queue; NQueueExpired (the queue-collapse signal) stays zero
+//     by construction, not by luck.
+//  4. A request that parks and dies waiting anyway (no deadline, or
+//     shedding disabled) is counted in NQueueExpired.
+func (g *Engine) admit(ctx context.Context, stats *counters) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case g.sem <- struct{}{}:
+		if err := ctx.Err(); err != nil {
+			<-g.sem
+			return err
+		}
+		return nil
+	default:
+	}
+	// Count ourselves into the queue BEFORE pricing the wait: a burst of
+	// concurrent arrivals each sees a position that includes the others,
+	// so they cannot all park believing the queue is one deep. A shed
+	// request leaves the gauge again microseconds later via the defer.
+	pos := g.waiting.Add(1)
+	defer g.waiting.Add(-1)
+	var doom <-chan time.Time
+	if g.shed {
+		if deadline, ok := ctx.Deadline(); ok {
+			if est := g.waitEstimate(pos); est > 0 && time.Until(deadline) < est {
+				stats.nShed.Add(1)
+				return &OverloadError{EstimatedWait: est}
+			}
+			if ewma := time.Duration(g.ev.simEWMA.Load()); ewma > 0 {
+				// Rule 3: give up the queue position the moment the
+				// deadline can no longer cover one simulation. The lead
+				// is positive here — the up-front check just verified
+				// remaining >= est >= ewma.
+				if lead := time.Until(deadline) - ewma; lead > 0 {
+					tm := time.NewTimer(lead)
+					defer tm.Stop()
+					doom = tm.C
+				}
+			}
+		}
+	}
+	select {
+	case g.sem <- struct{}{}:
+		if err := ctx.Err(); err != nil {
+			<-g.sem
+			stats.nQueueExp.Add(1)
+			return err
+		}
+		return nil
+	case <-doom:
+		stats.nShed.Add(1)
+		return &OverloadError{EstimatedWait: g.estimatedWait()}
+	case <-ctx.Done():
+		stats.nQueueExp.Add(1)
+		return ctx.Err()
+	}
+}
+
+// release returns an admission slot claimed by admit.
+func (g *Engine) release() { <-g.sem }
+
+// waitEstimate prices what a request at queue position pos (1-based,
+// counting itself) would wait before its simulation completes: the
+// parked queue drains one slot every ewma/maxSims on average, plus the
+// request's own simulation. Zero until the first simulation has seeded
+// the latency estimate (a cold engine never sheds — it has no evidence
+// the queue is slow).
+func (g *Engine) waitEstimate(pos int64) time.Duration {
+	ewma := g.ev.simEWMA.Load()
+	if ewma == 0 || g.sem == nil {
+		return 0
+	}
+	return time.Duration(pos*ewma/int64(cap(g.sem)) + ewma)
+}
+
+// estimatedWait is waitEstimate for a hypothetical next arrival.
+func (g *Engine) estimatedWait() time.Duration {
+	return g.waitEstimate(g.waiting.Load() + 1)
+}
+
+// EstimatedWait exposes the shedder's current queue-wait estimate — the
+// service layer's Retry-After source for capacity refusals. Zero means
+// no estimate yet (no simulation has completed) or an unbounded engine.
+func (g *Engine) EstimatedWait() time.Duration { return g.estimatedWait() }
+
+// QueuedSims returns the number of requests currently parked waiting
+// for an admission slot (always zero on an unbounded engine) — a
+// point-in-time gauge for service monitoring.
+func (g *Engine) QueuedSims() int { return int(g.waiting.Load()) }
 
 // Evaluator returns the engine's underlying evaluator.
 func (g *Engine) Evaluator() *Evaluator { return g.ev }
@@ -301,15 +421,25 @@ func (g *Engine) Submit(ctx context.Context, cfg space.Config) *Future {
 	cfg = cfg.Clone() // the caller may reuse its slice after Submit
 	go func() {
 		defer close(f.done)
-		f.res, f.err = g.ev.evaluateLive(ctx, cfg, g.sem)
+		f.res, f.err = g.ev.evaluateLive(ctx, cfg, g, RequestOptions{})
 	}()
 	return f
 }
 
 // Evaluate is the synchronous form of Submit+Wait, without the
-// per-query goroutine and Future — the oracle hot path.
+// per-query goroutine and Future — the oracle hot path. It never
+// serves degraded answers (RequestOptions zero value), so optimisers
+// driving the engine through it — and through Oracle() — only ever see
+// store-backed truth.
 func (g *Engine) Evaluate(ctx context.Context, cfg space.Config) (Result, error) {
-	return g.ev.evaluateLive(ctx, cfg, g.sem)
+	return g.ev.evaluateLive(ctx, cfg, g, RequestOptions{})
+}
+
+// EvaluateWith is Evaluate under an explicit per-request policy; the
+// service front end uses it to grant brownout opt-in
+// (RequestOptions.AllowDegraded) to tenants that asked for it.
+func (g *Engine) EvaluateWith(ctx context.Context, cfg space.Config, ro RequestOptions) (Result, error) {
+	return g.ev.evaluateLive(ctx, cfg, g, ro)
 }
 
 // Wait blocks until the query resolves or ctx is done, whichever comes

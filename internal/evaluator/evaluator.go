@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/kriging"
@@ -151,6 +152,12 @@ type Options struct {
 	// bisection. Stats.NBatchPredict counts the queries the batch path
 	// served.
 	DisableBatchPredict bool
+	// DisableShedding turns off the engine's deadline-aware load
+	// shedding: requests park on the admission semaphore until their
+	// context expires, however hopeless the queue — the pre-resilience
+	// behaviour, kept as the ablation arm of bench.OverloadSweep and as
+	// an operator escape hatch (EVALD_DISABLE_SHED).
+	DisableShedding bool
 	// DisableCoalescing turns off single-flight simulation coalescing:
 	// by default concurrent identical cache misses (several goroutines —
 	// optimiser instances, engine sessions, batch workers — asking for
@@ -230,6 +237,13 @@ type Result struct {
 	// simulation of its own. Always false for exact hits, interpolations
 	// and flight owners.
 	Coalesced bool
+	// Degraded marks a brownout answer: the simulation tier refused the
+	// request (admission shed or circuit breaker open) and the caller
+	// had opted in (RequestOptions.AllowDegraded), so this value is a
+	// surrogate-only kriging prediction served with the NnMin and
+	// variance gates waived. It was not inserted into the store and
+	// must not feed commit decisions.
+	Degraded bool
 }
 
 // Evaluator is the kriging-accelerated metric evaluator. It is safe for
@@ -243,6 +257,11 @@ type Evaluator struct {
 	store   *store.Store
 	stats   counters
 	flights inflight
+	// simEWMA is the smoothed wall time of one simulation in
+	// nanoseconds (see observeSimLatency); the engine's deadline-aware
+	// shedder prices queue waits with it. Zero until the first
+	// simulation completes.
+	simEWMA atomic.Int64
 	// scratch pools per-query working buffers (neighbourhood, transformed
 	// values, query coordinates): live requests borrow one per call,
 	// batch workers one per worker, so steady-state queries stay off the
@@ -327,15 +346,29 @@ type remoteCounter interface {
 	RemoteSimCounts() (nremote, nhedged, nretried, nrequeued uint64)
 }
 
+// breakerCounter is the structural interface a circuit breaker exposes
+// (internal/breaker.Breaker satisfies it); like remoteCounter it is
+// sniffed rather than imported.
+type breakerCounter interface {
+	BreakerCounts() (opens, rejected uint64)
+	BreakerOpen() bool
+}
+
 // Stats returns a snapshot of the activity counters. While evaluations
 // are in flight on other goroutines the snapshot is approximate; it is
 // exact once they have returned. When the simulator is a remote worker
-// pool, the snapshot carries its scheduler counters too.
+// pool, the snapshot carries its scheduler counters too; when it sits
+// behind a circuit breaker, the breaker's trip counters and open gauge.
 func (e *Evaluator) Stats() Stats {
 	st := e.stats.snapshot()
 	if rc, ok := e.sim.(remoteCounter); ok {
 		nr, nh, nt, nq := rc.RemoteSimCounts()
 		st.NRemoteSims, st.NHedged, st.NRetried, st.NRequeued = int(nr), int(nh), int(nt), int(nq)
+	}
+	if bc, ok := e.sim.(breakerCounter); ok {
+		opens, rejected := bc.BreakerCounts()
+		st.NBreakerOpen, st.NBreakerRejected = int(opens), int(rejected)
+		st.BreakerOpen = bc.BreakerOpen()
 	}
 	return st
 }
@@ -375,15 +408,19 @@ func (e *Evaluator) Evaluate(cfg space.Config) (Result, error) {
 // counters untouched (except for the simulator time already spent, which
 // stays in SimTime so the Eq. 2 model keeps measuring real cost).
 func (e *Evaluator) EvaluateContext(ctx context.Context, cfg space.Config) (Result, error) {
-	return e.evaluateLive(ctx, cfg, nil)
+	return e.evaluateLive(ctx, cfg, nil, RequestOptions{})
 }
 
 // evaluateLive answers one query against the live store: exact hit,
 // interpolation, or a coalesced simulation that is inserted into the
-// store before any sharing caller observes it. sem, when non-nil, bounds
-// concurrent simulations (the Engine's admission control); only flight
-// owners hold a slot, so coalesced followers never consume capacity.
-func (e *Evaluator) evaluateLive(ctx context.Context, cfg space.Config, sem chan struct{}) (Result, error) {
+// store before any sharing caller observes it. eng, when non-nil,
+// bounds concurrent simulations through the Engine's admission control
+// (with deadline-aware shedding unless disabled); only flight owners
+// hold a slot, so coalesced followers never consume capacity. When the
+// simulation tier refuses the request on capacity grounds and ro opts
+// in, the brownout fallback serves a degraded surrogate-only answer
+// instead of the error.
+func (e *Evaluator) evaluateLive(ctx context.Context, cfg space.Config, eng *Engine, ro RequestOptions) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
@@ -393,8 +430,13 @@ func (e *Evaluator) evaluateLive(ctx context.Context, cfg space.Config, sem chan
 	if ok {
 		return res, nil
 	}
-	lam, coalesced, err := e.simulateShared(ctx, cfg, &e.stats, sem, true)
+	lam, coalesced, err := e.simulateShared(ctx, cfg, &e.stats, eng, true)
 	if err != nil {
+		if ro.AllowDegraded && brownoutEligible(err) {
+			if res, ok := e.degradedAnswer(cfg); ok {
+				return res, nil
+			}
+		}
 		return Result{}, err
 	}
 	return Result{Lambda: lam, Source: Simulated, Coalesced: coalesced}, nil
@@ -406,7 +448,15 @@ func (e *Evaluator) evaluateLive(ctx context.Context, cfg space.Config, sem chan
 func (e *Evaluator) rawSimulate(ctx context.Context, cfg space.Config, stats *counters) (float64, error) {
 	start := time.Now()
 	lam, err := simulate(ctx, e.sim, cfg)
-	stats.simTime.Add(int64(time.Since(start)))
+	elapsed := time.Since(start)
+	stats.simTime.Add(int64(elapsed))
+	if err == nil {
+		// Only completed simulations feed the shedder's latency
+		// estimate: failures (breaker rejections, dead workers) return
+		// in microseconds and would talk the EWMA down exactly when
+		// capacity is scarcest.
+		e.observeSimLatency(elapsed)
+	}
 	if err != nil {
 		if isContextError(err) {
 			return 0, err
@@ -495,7 +545,10 @@ func (e *Evaluator) gatherSupport(view storeView, cfg space.Config, qs *queryScr
 // errVarianceGate marks a variance-gate rejection internally.
 var errVarianceGate = errors.New("evaluator: kriging variance above threshold")
 
-func (e *Evaluator) interpolate(nb *store.Neighborhood, cfg space.Config, stats *counters, qs *queryScratch) (float64, error) {
+// prepInterp loads the (transformed) support values and the query point
+// into qs's reused buffers, returning the value slice to hand the
+// interpolator — the shared setup of the gated and ungated predictors.
+func (e *Evaluator) prepInterp(nb *store.Neighborhood, cfg space.Config, qs *queryScratch) []float64 {
 	ys := nb.Values
 	if e.opts.Transform != nil {
 		qs.ys = qs.ys[:0]
@@ -511,6 +564,28 @@ func (e *Evaluator) interpolate(nb *store.Neighborhood, cfg space.Config, stats 
 	for _, v := range cfg {
 		qs.x = append(qs.x, float64(v))
 	}
+	return ys
+}
+
+// predictUngated runs the plain interpolation pipeline — Transform,
+// Predict, Untransform — with no variance gate: the brownout path,
+// where the choice is a gate-waived prediction or no answer at all. It
+// charges nothing to the paper-metric counters (NInterp/SumNeigh stay
+// measures of full-quality interpolation).
+func (e *Evaluator) predictUngated(nb *store.Neighborhood, cfg space.Config, qs *queryScratch) (float64, error) {
+	ys := e.prepInterp(nb, cfg, qs)
+	pred, err := e.opts.Interp.Predict(nb.Coords, ys, qs.x)
+	if err != nil {
+		return 0, err
+	}
+	if e.opts.Untransform != nil {
+		pred = e.opts.Untransform(pred)
+	}
+	return pred, nil
+}
+
+func (e *Evaluator) interpolate(nb *store.Neighborhood, cfg space.Config, stats *counters, qs *queryScratch) (float64, error) {
+	ys := e.prepInterp(nb, cfg, qs)
 	var (
 		pred float64
 		err  error

@@ -44,6 +44,26 @@ type Stats struct {
 	NHedged     int
 	NRetried    int
 	NRequeued   int
+	// Overload-resilience counters. NShed counts requests rejected by
+	// the engine's deadline-aware admission shedder (typed ErrOverloaded
+	// instead of parking on a full semaphore); NQueueExpired counts
+	// requests whose context died while actually parked for admission —
+	// the waste shedding exists to eliminate (an effective shedder keeps
+	// it at zero); NDegraded counts brownout answers served as
+	// surrogate-only predictions to opted-in callers. Degraded answers
+	// are not part of NInterp/SumNeigh: the paper metrics keep measuring
+	// full-quality interpolation only.
+	NShed         int
+	NQueueExpired int
+	NDegraded     int
+	// Circuit-breaker counters, filled when the simulator is wrapped in
+	// internal/breaker (sniffed structurally, like the pool counters):
+	// NBreakerOpen counts closed→open trips, NBreakerRejected the
+	// requests fast-failed while open, and BreakerOpen is the live
+	// open-state gauge.
+	NBreakerOpen     int
+	NBreakerRejected int
+	BreakerOpen      bool
 }
 
 // Total returns the number of evaluated configurations.
@@ -99,6 +119,9 @@ type counters struct {
 	nVarRejected atomic.Int64
 	nBatchPred   atomic.Int64
 	nCoalesced   atomic.Int64
+	nShed        atomic.Int64
+	nQueueExp    atomic.Int64
+	nDegraded    atomic.Int64
 	simTime      atomic.Int64 // nanoseconds
 	interpTime   atomic.Int64 // nanoseconds
 }
@@ -114,6 +137,9 @@ func (c *counters) snapshot() Stats {
 		NVarRejected:  int(c.nVarRejected.Load()),
 		NBatchPredict: int(c.nBatchPred.Load()),
 		NCoalesced:    int(c.nCoalesced.Load()),
+		NShed:         int(c.nShed.Load()),
+		NQueueExpired: int(c.nQueueExp.Load()),
+		NDegraded:     int(c.nDegraded.Load()),
 		SimTime:       time.Duration(c.simTime.Load()),
 		InterpTime:    time.Duration(c.interpTime.Load()),
 	}
@@ -129,6 +155,9 @@ func (c *counters) merge(o *counters) {
 	c.nVarRejected.Add(o.nVarRejected.Load())
 	c.nBatchPred.Add(o.nBatchPred.Load())
 	c.nCoalesced.Add(o.nCoalesced.Load())
+	c.nShed.Add(o.nShed.Load())
+	c.nQueueExp.Add(o.nQueueExp.Load())
+	c.nDegraded.Add(o.nDegraded.Load())
 	c.simTime.Add(o.simTime.Load())
 	c.interpTime.Add(o.interpTime.Load())
 }
@@ -141,6 +170,9 @@ func (c *counters) reset() {
 	c.nVarRejected.Store(0)
 	c.nBatchPred.Store(0)
 	c.nCoalesced.Store(0)
+	c.nShed.Store(0)
+	c.nQueueExp.Store(0)
+	c.nDegraded.Store(0)
 	c.simTime.Store(0)
 	c.interpTime.Store(0)
 }

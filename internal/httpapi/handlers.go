@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/evaluator"
@@ -20,6 +21,13 @@ type evaluateRequest struct {
 	// mapped onto the query context, so an expired request cancels its
 	// own (un-shared) simulation and returns 504.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// AllowDegraded opts this single request into brownout serving:
+	// when the simulation tier is refusing work (admission shed or
+	// circuit breaker open) the answer may be a surrogate-only kriging
+	// prediction flagged "degraded":true instead of a 503. Tenants can
+	// also opt in table-wide (the tenant policy field of
+	// EVALD_API_KEYS); either switch suffices.
+	AllowDegraded bool `json:"allow_degraded,omitempty"`
 }
 
 // evaluateResponse mirrors evaluator.Result.
@@ -30,6 +38,11 @@ type evaluateResponse struct {
 	// Coalesced marks a simulated answer that shared another request's
 	// in-flight simulation instead of paying its own.
 	Coalesced bool `json:"coalesced,omitempty"`
+	// Degraded marks a brownout answer: a surrogate-only prediction
+	// served because the simulation tier refused the request and the
+	// caller opted in. It was not backed by a simulation and was not
+	// inserted into the store.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // batchRequest is the body of POST /v1/batch.
@@ -74,6 +87,22 @@ type statsResponse struct {
 	NRetried    int           `json:"nretried,omitempty"`
 	NRequeued   int           `json:"nrequeued,omitempty"`
 	SimWorkers  []workerGauge `json:"sim_workers,omitempty"`
+	// Overload-resilience counters and gauges. NShed counts requests
+	// rejected by the deadline-aware admission shedder (503 +
+	// Retry-After), NQueueExpired requests whose deadline died while
+	// parked for admission (a healthy shedder keeps this at zero),
+	// NDegraded brownout answers served to opted-in callers, and
+	// QueuedSims the live admission queue depth.
+	NShed         int `json:"nshed"`
+	NQueueExpired int `json:"nqueue_expired"`
+	NDegraded     int `json:"ndegraded"`
+	QueuedSims    int `json:"queued_sims"`
+	// Circuit-breaker counters, present when the simulator is wrapped
+	// in a breaker: trips, open-state fast-fails, and the live open
+	// gauge.
+	NBreakerOpen     int  `json:"nbreaker_open,omitempty"`
+	NBreakerRejected int  `json:"nbreaker_rejected,omitempty"`
+	BreakerOpen      bool `json:"breaker_open,omitempty"`
 }
 
 // workerGauge is one remote worker's live row in /v1/stats.
@@ -158,11 +187,58 @@ func errStatus(err error) (int, string) {
 	case errors.Is(err, context.Canceled):
 		// The client went away; the status is for the log only.
 		return 499, "request cancelled"
+	case errors.Is(err, evaluator.ErrOverloaded), isSimUnavailable(err):
+		// Capacity refusal, not failure: the admission shedder predicted
+		// the request could not meet its deadline, or the circuit
+		// breaker is holding traffic off a down simulator fleet. Either
+		// way the client should retry after the hinted wait, so these
+		// are 503 + Retry-After, never 502.
+		return http.StatusServiceUnavailable, err.Error()
 	default:
 		// The simulator (the upstream the service fronts) failed, or the
 		// durable store went fail-stop.
 		return http.StatusBadGateway, err.Error()
 	}
+}
+
+// isSimUnavailable detects a circuit-breaker open rejection by its
+// structural marker (internal/breaker's OpenError), keeping this
+// package decoupled from the concrete breaker type.
+func isSimUnavailable(err error) bool {
+	var ue interface{ SimUnavailable() time.Duration }
+	return errors.As(err, &ue)
+}
+
+// retryAfterHint extracts the suggested client backoff a capacity
+// refusal carries (the shedder's queue-wait estimate, or the breaker's
+// remaining cooldown); zero when the error carries none.
+func retryAfterHint(err error) time.Duration {
+	var ra interface{ RetryAfterHint() time.Duration }
+	if errors.As(err, &ra) {
+		return ra.RetryAfterHint()
+	}
+	return 0
+}
+
+// retryAfterSeconds renders a wait as a Retry-After header value:
+// whole seconds, rounded up, never below 1 (a 503 with Retry-After: 0
+// invites an immediate retry storm).
+func retryAfterSeconds(d time.Duration) string {
+	secs := (int64(d) + int64(time.Second) - 1) / int64(time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// writeEvalError maps an evaluation failure onto the response,
+// attaching the computed Retry-After on capacity refusals.
+func writeEvalError(w http.ResponseWriter, err error) {
+	status, msg := errStatus(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfterSeconds(retryAfterHint(err)))
+	}
+	writeError(w, status, msg)
 }
 
 func toResponse(res evaluator.Result) evaluateResponse {
@@ -171,6 +247,7 @@ func toResponse(res evaluator.Result) evaluateResponse {
 		Source:    res.Source.String(),
 		Neighbors: res.Neighbors,
 		Coalesced: res.Coalesced,
+		Degraded:  res.Degraded,
 	}
 }
 
@@ -189,14 +266,20 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	res, err := s.engine.Evaluate(ctx, cfg)
+	tenant, _ := r.Context().Value(tenantKey{}).(*tenantState)
+	ro := evaluator.RequestOptions{
+		AllowDegraded: req.AllowDegraded || (tenant != nil && tenant.AllowDegraded),
+	}
+	res, err := s.engine.EvaluateWith(ctx, cfg, ro)
 	if err != nil {
-		status, msg := errStatus(err)
-		writeError(w, status, msg)
+		writeEvalError(w, err)
 		return
 	}
-	if info := infoFrom(r.Context()); info != nil && res.Source == evaluator.Simulated {
-		info.coalesced, info.hasCoal = res.Coalesced, true
+	if info := infoFrom(r.Context()); info != nil {
+		if res.Source == evaluator.Simulated {
+			info.coalesced, info.hasCoal = res.Coalesced, true
+		}
+		info.degraded = res.Degraded
 	}
 	writeJSON(w, http.StatusOK, toResponse(res))
 }
@@ -229,10 +312,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
+	// The batch path never serves degraded values: batches feed commit
+	// decisions (optimiser rounds), which must only see store-backed
+	// truth. Under an open breaker a batch therefore fails typed rather
+	// than degrading.
 	results, err := s.ev.EvaluateAllContext(ctx, cfgs, s.workers)
 	if err != nil {
-		status, msg := errStatus(err)
-		writeError(w, status, msg)
+		writeEvalError(w, err)
 		return
 	}
 	resp := batchResponse{Results: make([]evaluateResponse, len(results))}
@@ -270,6 +356,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		NHedged:             st.NHedged,
 		NRetried:            st.NRetried,
 		NRequeued:           st.NRequeued,
+		NShed:               st.NShed,
+		NQueueExpired:       st.NQueueExpired,
+		NDegraded:           st.NDegraded,
+		QueuedSims:          s.engine.QueuedSims(),
+		NBreakerOpen:        st.NBreakerOpen,
+		NBreakerRejected:    st.NBreakerRejected,
+		BreakerOpen:         st.BreakerOpen,
 	}
 	if s.pool != nil {
 		ps := s.pool.Stats()

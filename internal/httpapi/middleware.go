@@ -16,6 +16,7 @@ type reqInfo struct {
 	tenant    string
 	coalesced bool
 	hasCoal   bool // coalesced is only meaningful on simulated answers
+	degraded  bool // the answer was a surrogate-only brownout value
 }
 
 type reqInfoKey struct{}
@@ -96,6 +97,9 @@ func (s *Server) logRequests(next http.Handler) http.Handler {
 		if info.hasCoal {
 			attrs = append(attrs, "coalesced", info.coalesced)
 		}
+		if info.degraded {
+			attrs = append(attrs, "degraded", true)
+		}
 		if s.pool != nil {
 			// Deltas are approximate under concurrent requests (the
 			// counters are pool-global), but exact on a quiet service —
@@ -110,10 +114,13 @@ func (s *Server) logRequests(next http.Handler) http.Handler {
 
 // drainGate refuses new API work once the server is draining; requests
 // already past the gate run to completion under http.Server.Shutdown.
+// The Retry-After is the drain grace remaining — once it elapses this
+// instance is gone and a replacement (or the load balancer) should be
+// answering, so it is the earliest moment a retry can do better.
 func (s *Server) drainGate(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", retryAfterSeconds(s.drainRemaining()))
 			writeError(w, http.StatusServiceUnavailable, "server is draining")
 			return
 		}
@@ -196,7 +203,12 @@ func (s *Server) withQuota(next http.Handler) http.Handler {
 		case tenant.slots <- struct{}{}:
 			defer func() { <-tenant.slots }()
 		default:
-			w.Header().Set("Retry-After", "1")
+			// The tenant's slots free as its in-flight requests finish,
+			// and those are paced by simulation capacity — so the
+			// shedder's queue-wait estimate is the honest hint for when
+			// a slot is likely to open (floor of 1s when the engine has
+			// no estimate yet).
+			w.Header().Set("Retry-After", retryAfterSeconds(s.engine.EstimatedWait()))
 			writeError(w, http.StatusTooManyRequests, "tenant quota exhausted")
 			return
 		}

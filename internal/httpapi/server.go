@@ -38,6 +38,11 @@ type Tenant struct {
 	Name  string
 	Key   string
 	Quota int // max concurrent in-flight requests; 0 = unlimited
+	// AllowDegraded opts every request of this tenant into brownout
+	// serving (surrogate-only degraded answers instead of 503 when the
+	// simulation tier refuses work); per-request allow_degraded grants
+	// the same thing one request at a time.
+	AllowDegraded bool
 }
 
 // Options configures a Server.
@@ -87,7 +92,12 @@ type Server struct {
 	tenants        []*tenantState
 	anonymous      bool
 	draining       atomic.Bool
-	mux            *http.ServeMux
+	// drainStart is when StartDraining flipped the gate (unix nanos;
+	// zero until then) and drainGrace how long in-flight work may run
+	// after it — together they price the drain gate's Retry-After.
+	drainStart atomic.Int64
+	drainGrace time.Duration
+	mux        *http.ServeMux
 }
 
 type tenantState struct {
@@ -146,9 +156,24 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // StartDraining flips the server into drain mode: /readyz turns 503 so
 // load balancers stop routing here, and new API requests are refused
-// with 503 + Retry-After while requests already in flight run to
-// completion. Draining is one-way.
-func (s *Server) StartDraining() { s.draining.Store(true) }
+// with 503 + Retry-After (the drain grace remaining) while requests
+// already in flight run to completion. Draining is one-way.
+func (s *Server) StartDraining() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.drainStart.Store(time.Now().UnixNano())
+	}
+}
+
+// drainRemaining reports how much of the drain grace is left — the
+// drain gate's Retry-After source. Zero (mapped to the 1s header floor)
+// when no grace is configured or it has elapsed.
+func (s *Server) drainRemaining() time.Duration {
+	start := s.drainStart.Load()
+	if start == 0 || s.drainGrace <= 0 {
+		return 0
+	}
+	return s.drainGrace - time.Since(time.Unix(0, start))
+}
 
 // Draining reports whether StartDraining has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -161,6 +186,7 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // shutdown, the evaluator's sticky durability error if the state store
 // failed, or the server/listener error that stopped it.
 func (s *Server) ServeListener(ctx context.Context, ln net.Listener, grace time.Duration) error {
+	s.drainGrace = grace
 	hs := &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,

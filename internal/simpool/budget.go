@@ -1,0 +1,73 @@
+package simpool
+
+import (
+	"time"
+)
+
+// tokenBucket is the pool-wide retry budget: a classic token bucket
+// that caps the GLOBAL rate of extra dispatches — retries after worker
+// failures, all-quarantined backoff rounds aside, AND hedge/steal
+// duplicates — so correlated worker failures cannot amplify offered
+// load into a retry storm. First dispatches of a config never consume
+// tokens; only the speculative or repeated work does.
+//
+// All methods must be called with Pool.mu held (the scheduler already
+// serialises dispatch decisions there), so the bucket needs no lock of
+// its own. Callers pass `now` in: the janitor loop already carries it.
+type tokenBucket struct {
+	rate   float64 // tokens per second
+	burst  float64 // bucket depth
+	tokens float64
+	last   time.Time
+}
+
+// newTokenBucket builds a bucket that starts full.
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	if burst < 1 {
+		// A zero-depth bucket could never hand out a token — that is
+		// "no retries ever", a liveness hazard, not a budget.
+		burst = 1
+	}
+	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst)}
+}
+
+// refill accrues tokens for the time passed since the last call.
+func (b *tokenBucket) refill(now time.Time) {
+	if b.last.IsZero() {
+		b.last = now
+		return
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+}
+
+// take consumes one token if available.
+func (b *tokenBucket) take(now time.Time) bool {
+	b.refill(now)
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// nextIn reports how long until one token will be available — the
+// park/wake horizon for a budget-denied retry.
+func (b *tokenBucket) nextIn(now time.Time) time.Duration {
+	b.refill(now)
+	if b.tokens >= 1 {
+		return 0
+	}
+	if b.rate <= 0 {
+		// Unrefillable bucket (degenerate config): poll at the janitor's
+		// own cadence rather than sleeping forever.
+		return maxWake
+	}
+	need := 1 - b.tokens
+	return time.Duration(need / b.rate * float64(time.Second))
+}

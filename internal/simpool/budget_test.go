@@ -1,0 +1,183 @@
+package simpool
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/space"
+)
+
+// deadWorkerSpec returns a spec whose address refuses connections: an
+// httptest server booted only to reserve a port, then closed.
+func deadWorkerSpec(t *testing.T) WorkerSpec {
+	t.Helper()
+	srv := httptest.NewServer(http.NotFoundHandler())
+	url := srv.URL
+	srv.Close()
+	return WorkerSpec{URL: url}
+}
+
+// TestTokenBucket pins the retry-budget arithmetic: a bucket starts
+// full, burst bounds it, zero-depth requests are clamped to one token,
+// and nextIn prices the wait for the next token.
+func TestTokenBucket(t *testing.T) {
+	now := time.Now()
+	b := newTokenBucket(10, 2)
+	if !b.take(now) || !b.take(now) {
+		t.Fatal("full burst-2 bucket refused its first two tokens")
+	}
+	if b.take(now) {
+		t.Fatal("empty bucket handed out a third token")
+	}
+	if got := b.nextIn(now); got <= 0 || got > 150*time.Millisecond {
+		t.Fatalf("nextIn = %v, want ~100ms (1 token at 10/s)", got)
+	}
+	if !b.take(now.Add(200 * time.Millisecond)) {
+		t.Fatal("bucket did not refill after 200ms at 10 tokens/s")
+	}
+	// Refill is capped at burst: a long idle stretch does not bank an
+	// unbounded retry storm.
+	b2 := newTokenBucket(1000, 2)
+	b2.take(now)
+	later := now.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if !b2.take(later) {
+			t.Fatalf("take %d after refill failed", i)
+		}
+	}
+	if b2.take(later) {
+		t.Fatal("bucket refilled beyond its burst")
+	}
+	// Zero/negative burst is clamped to 1 — a budget, not a ban.
+	b3 := newTokenBucket(0, 0)
+	if !b3.take(now) {
+		t.Fatal("clamped bucket refused its single token")
+	}
+	if got := b3.nextIn(now); got != maxWake {
+		t.Fatalf("unrefillable nextIn = %v, want maxWake %v", got, maxWake)
+	}
+}
+
+// TestBackoffBoundaries pins the retry ladder at its edges: the first
+// retry jitters within [base/2, base], and attempt counts large enough
+// to overflow the shift clamp to [max/2, max] instead of going negative.
+func TestBackoffBoundaries(t *testing.T) {
+	p := &Pool{retryBase: 100 * time.Millisecond, retryMax: 5 * time.Second}
+	for i := 0; i < 50; i++ {
+		if d := p.backoff(1); d < 50*time.Millisecond || d > 100*time.Millisecond {
+			t.Fatalf("backoff(1) = %v, want in [50ms, 100ms]", d)
+		}
+		// 100ms << 62 overflows int64; the clamp must land on retryMax.
+		if d := p.backoff(63); d < 2500*time.Millisecond || d > 5*time.Second {
+			t.Fatalf("backoff(63) = %v, want in [2.5s, 5s]", d)
+		}
+		if d := p.backoff(10); d < 2500*time.Millisecond || d > 5*time.Second {
+			t.Fatalf("backoff(10) = %v, want clamped to [2.5s, 5s]", d)
+		}
+	}
+}
+
+// TestMaxAttemptsOneFailsFast pins the MaxAttempts=1 boundary: one dead
+// worker, one dispatch, no retries — the caller gets the typed
+// ErrNoWorkers immediately instead of a backoff ladder.
+func TestMaxAttemptsOneFailsFast(t *testing.T) {
+	p := newTestPool(t, Options{
+		Workers:     []WorkerSpec{deadWorkerSpec(t)},
+		MaxAttempts: 1,
+	})
+	start := time.Now()
+	_, err := p.Evaluate(space.Config{2, 3, 4})
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("err = %v, want ErrNoWorkers", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("MaxAttempts=1 failure took %v, want fast", elapsed)
+	}
+	if st := p.Stats(); st.NRetried != 0 {
+		t.Errorf("NRetried = %d with MaxAttempts=1, want 0", st.NRetried)
+	}
+}
+
+// TestAllQuarantinedHonoursDeadline parks a task in the all-quarantined
+// backoff loop and checks a nearly-expired context is honoured promptly:
+// the caller gets its deadline error in milliseconds, not after the
+// retry ladder runs out.
+func TestAllQuarantinedHonoursDeadline(t *testing.T) {
+	p := newTestPool(t, Options{
+		Workers:   []WorkerSpec{deadWorkerSpec(t)},
+		RetryBase: time.Second, // park firmly between attempts
+		RetryMax:  time.Second,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := p.EvaluateContext(ctx, space.Config{2, 3, 4})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	// The 50ms deadline plus one janitor wake (maxWake 250ms) bounds
+	// the return; anything near RetryBase means the ctx was ignored.
+	if elapsed > 800*time.Millisecond {
+		t.Fatalf("deadline honoured after %v, want promptly", elapsed)
+	}
+}
+
+// TestHedgeDrawsFromRetryBudget wires the interaction the budget exists
+// for: worker A is dead (its failure forces a retry that spends the
+// budget's only token), worker B holds the retry in flight, and the
+// hedge that wants to duplicate onto idle worker C is denied — hedges
+// and retries share one pool-wide budget.
+func TestHedgeDrawsFromRetryBudget(t *testing.T) {
+	release := make(chan struct{})
+	specs, _ := startWorkers(t, 2, "", func(int) *stubSim {
+		return &stubSim{entered: make(chan struct{}, 8), release: release}
+	})
+	// Dead worker FIRST: least-loaded dispatch ties break in worker
+	// order, so the initial attempt lands on it deterministically.
+	specs = append([]WorkerSpec{deadWorkerSpec(t)}, specs...)
+	p := newTestPool(t, Options{
+		Workers:     specs,
+		HedgeDelay:  5 * time.Millisecond,
+		RetryBudget: 0.001, // effectively no refill within the test
+		RetryBurst:  1,
+	})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.EvaluateContext(context.Background(), space.Config{2, 3, 4})
+		done <- err
+	}()
+	// Give the janitor time to fail over from the dead worker (spending
+	// the budget token) and then repeatedly decline the hedge.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := p.Stats()
+		if st.NRetried == 1 && st.NBudgetDenied >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stats never converged: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("evaluation failed: %v", err)
+	}
+	st := p.Stats()
+	if st.NHedged != 0 {
+		t.Errorf("NHedged = %d, want 0 — the budget must starve the hedge", st.NHedged)
+	}
+	if st.NRetried != 1 {
+		t.Errorf("NRetried = %d, want 1", st.NRetried)
+	}
+	if st.NBudgetDenied < 1 {
+		t.Errorf("NBudgetDenied = %d, want >= 1", st.NBudgetDenied)
+	}
+}

@@ -280,7 +280,9 @@ func TestPoolSimulationErrorIsPermanent(t *testing.T) {
 			return errors.New("unstable filter")
 		}}
 	})
-	p := newTestPool(t, Options{Workers: specs})
+	// Hedging off: an idle-steal under a slow (race-instrumented) round
+	// trip would duplicate the dispatch and break the exactly-once check.
+	p := newTestPool(t, Options{Workers: specs, StealDelay: -1, HedgeDelay: -1})
 
 	_, err := p.Evaluate(space.Config{2, 3, 4})
 	if !errors.Is(err, ErrSimulation) {
